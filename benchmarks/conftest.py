@@ -1,0 +1,26 @@
+"""Shared benchmark utilities: report capture to stdout and disk."""
+
+import os
+
+import pytest
+
+REPORT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+@pytest.fixture
+def report(request):
+    """Collects the regenerated figure/table rows and writes them to
+    ``benchmarks/out/<bench>.txt`` (and stdout with -s)."""
+    lines = []
+
+    def emit(text=""):
+        lines.append(str(text))
+
+    yield emit
+    os.makedirs(REPORT_DIR, exist_ok=True)
+    name = request.node.name.replace("/", "_")
+    path = os.path.join(REPORT_DIR, f"{name}.txt")
+    body = "\n".join(lines) + "\n"
+    with open(path, "w") as handle:
+        handle.write(body)
+    print(f"\n{body}[report written to {path}]")

@@ -1,0 +1,66 @@
+"""End-to-end keyword spotting: raw audio to prediction, with profiling.
+
+Demonstrates the full-stack claim of the paper: the framework accounts
+for pre-processing, not just kernels.  Synthesizes one second of audio,
+runs the MFCC frontend, feeds DS-CNN, and shows how the frontend's share
+of runtime grows as the inference side is optimized — identifying the
+*next* hotspot the deploy-profile-optimize loop would attack.
+
+Run:  python examples/end_to_end_audio.py
+"""
+
+import numpy as np
+
+from repro.core.ladders import kws_initial_state, kws_ladder, run_ladder
+from repro.models import load
+from repro.tflm import Interpreter
+from repro.tflm.frontend import MfccConfig, frontend_cycles, mfcc, preprocess_audio
+
+KEYWORDS = ["silence", "unknown", "yes", "no", "up", "down", "left",
+            "right", "on", "off", "stop", "go"]
+
+
+def synth_utterance(seed=0):
+    """A synthetic 'utterance': chirp + harmonics + noise."""
+    rng = np.random.default_rng(seed)
+    t = np.arange(16_000) / 16_000
+    f0 = 180 + 120 * t
+    audio = (0.4 * np.sin(2 * np.pi * f0 * t)
+             + 0.2 * np.sin(2 * np.pi * 2.1 * f0 * t)
+             + 0.02 * rng.standard_normal(t.size))
+    return audio
+
+
+def main():
+    audio = synth_utterance()
+    config = MfccConfig()
+    print(f"audio: {audio.size} samples @ {config.sample_rate_hz} Hz")
+
+    features = mfcc(audio, config)
+    print(f"MFCC: {features.shape} (49 frames x 10 coefficients)")
+
+    x = preprocess_audio(audio, config)
+    model = load("dscnn_kws")
+    output = Interpreter(model).invoke(x)
+    scores = (output[0].astype(int) + 128)
+    top = int(np.argmax(scores))
+    print(f"prediction: {KEYWORDS[top]!r} "
+          f"(class {top}, score {scores[top]}/255)")
+    print("(weights are synthetic: the prediction is arbitrary but "
+          "deterministic)\n")
+
+    print("== where does the time go, end to end? ==")
+    results = run_ladder(kws_ladder(), kws_initial_state())
+    clock = results[0].estimate.system.clock_hz
+    print(f"{'rung':16s} {'frontend':>10s} {'inference':>11s} {'share':>7s}")
+    for r in (results[0], results[4], results[-1]):
+        fe = frontend_cycles(r.estimate.system)
+        share = fe / (fe + r.cycles)
+        print(f"{r.step.name:16s} {1000 * fe / clock:>8.1f}ms "
+              f"{1000 * r.cycles / clock:>9.1f}ms {100 * share:>6.1f}%")
+    print("\n-> after the ladder, pre-processing is the emerging hotspot: "
+          "the next CFU candidate is an FFT butterfly / MAC for the MFCC")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Section III-B walkthrough: keyword spotting on the tiny Fomu board.
+
+The resource-constrained story: the SoC must be put on a diet before
+VexRiscv even fits the iCE40UP5k; the binary will not fit the 128 kB
+SRAM so code and weights execute from flash; and the ladder then climbs
+through memory-system, CPU, CFU, and software optimizations from ~2.5
+simulated minutes per inference to ~2 seconds.
+
+Run:  python examples/keyword_spotting_fomu.py
+"""
+
+from repro.boards import FOMU, fit
+from repro.core.ladders import kws_initial_state, kws_ladder, run_ladder
+from repro.cpu.vexriscv import VexRiscvConfig
+from repro.models import load
+from repro.soc import LinkError, Soc, link
+
+
+def main():
+    model = load("dscnn_kws")
+
+    print("== step 0: does it even fit? ==")
+    minimal = VexRiscvConfig(
+        bypassing=False, branch_prediction="none", multiplier="none",
+        divider="none", shifter="iterative", icache_bytes=0, dcache_bytes=0,
+    )
+    stock = Soc(FOMU, minimal)
+    print(fit(FOMU, stock.resources()).summary())
+    print("-> the stock SoC does not fit: remove timer, ctrl CSRs, LED/touch,"
+          "\n   and hardware error checking (the Section III-B diet)\n")
+
+    print("== step 1: the binary does not fit 128 kB SRAM ==")
+    state = kws_initial_state()
+    try:
+        link(state.soc, model, placement={
+            "text": "sram", "kernel_text": "sram",
+            "model_weights": "sram", "rodata_misc": "sram",
+        })
+    except LinkError as error:
+        print(f"LinkError (expected): {str(error).splitlines()[0]}")
+    layout = link(state.soc, model)
+    print("-> linker script places .text/.rodata in flash:")
+    print(layout.summary())
+
+    print("\n== step 2: climb the Fig. 6 ladder ==")
+    results = run_ladder(kws_ladder(), state)
+    clock = results[0].estimate.system.clock_hz
+    for r in results:
+        print(f"{r.step.name:16s} x{r.speedup:6.2f}  "
+              f"{r.cycles / clock:7.2f} s  "
+              f"{r.fit.usage.logic_cells:>5d} cells "
+              f"{r.fit.usage.dsps} DSP  {'OK' if r.fit.ok else 'NO-FIT'}")
+
+    final = results[-1]
+    print(f"\none inference: {results[0].cycles / clock:.0f} s -> "
+          f"{final.cycles / clock:.2f} s "
+          f"({final.speedup:.0f}x; paper: 2.5 min -> <2 s, 75x)")
+    print(f"final design uses {final.fit.usage.dsps}/8 DSP tiles and "
+          f"{final.fit.cell_utilization * 100:.1f}% of Fomu's logic cells")
+
+
+if __name__ == "__main__":
+    main()

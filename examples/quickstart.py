@@ -1,0 +1,45 @@
+"""Quickstart: deploy -> profile -> optimize in a dozen lines.
+
+Deploys the MLPerf Tiny keyword-spotting model to an Arty A7-35T,
+profiles it, swaps in the CFU-accelerated kernels, and verifies the
+optimized deployment against the golden reference — the whole CFU
+Playground loop.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Playground
+from repro.accel import KwsCfu
+from repro.boards import ARTY_A7_35T
+from repro.kernels import kws_variants
+from repro.models import load
+
+
+def main():
+    model = load("dscnn_kws")
+    pg = Playground(ARTY_A7_35T, model)
+
+    print("== deploy ==")
+    report = pg.deploy()
+    print(report.fit.summary())
+
+    print("\n== profile (reference kernels) ==")
+    baseline = pg.profile(checkpoint="baseline")
+    print(baseline.summary())
+
+    print("\n== optimize: attach CFU2 + swap kernels ==")
+    pg.swap_kernel(*kws_variants(postproc=True, specialized=True))
+    pg.attach_cfu(KwsCfu())
+    optimized = pg.profile(checkpoint="cfu")
+    print(optimized.summary())
+
+    print("\n== golden test (optimized vs reference, bit-exact) ==")
+    pg.golden_test()
+    print("golden test PASSED")
+
+    for label, speedup in pg.speedup_history():
+        print(f"{label:10s} {speedup:5.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""CFU Playground reproduction: full-stack HW/SW co-design for TinyML.
+
+A faithful, laptop-scale reproduction of "CFU Playground: Full-Stack
+Open-Source Framework for TinyML Acceleration on FPGAs" (ISPASS 2023):
+an nMigen-style RTL toolkit, an RV32IM soft CPU with a VexRiscv-style
+configuration space, a LiteX-style SoC builder with board models, a
+TFLite-Micro-compatible int8 inference stack, the Custom Function Unit
+abstraction with software emulation and golden testing, a mechanistic
+performance model, the paper's two optimization ladders, and a
+Vizier-style design-space explorer.
+
+Entry points:
+
+- :class:`repro.core.Playground` — the deploy-profile-optimize loop.
+- :mod:`repro.models` — the bundled MLPerf-Tiny-style model zoo.
+- :mod:`repro.core.ladders` — the Fig. 4 / Fig. 6 ladders.
+- :mod:`repro.dse` — the Fig. 7 design-space exploration.
+"""
+
+from . import boards, cfu, core, cpu, dse, emu, kernels, models, perf, rtl, soc, tflm
+from .core import Playground
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Playground", "boards", "cfu", "core", "cpu", "dse", "emu", "kernels",
+    "models", "perf", "rtl", "soc", "tflm", "__version__",
+]

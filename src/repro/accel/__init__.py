@@ -1,0 +1,27 @@
+"""CFU gateware library: the MNV2 ladder CFUs (CFU1) and the KWS CFU (CFU2)."""
+
+from .audio import FftButterflyCfu, FftButterflyRtl, cfu3_resources
+from .library import (
+    LIBRARY,
+    ByteReverseCfu,
+    ByteReverseRtl,
+    MinMaxCfu,
+    MinMaxRtl,
+    PopcountCfu,
+    PopcountRtl,
+    SimdAddCfu,
+    SimdAddRtl,
+)
+from .kws.model import KwsCfu
+from .kws.rtl import KwsCfu2Rtl
+from .mnv2.model import Mnv2Cfu
+from .mnv2.resources import STAGES as MNV2_STAGES
+from .mnv2.resources import stage_resources
+from .mnv2.rtl import Cfu1Rtl, Mac4Rtl, PostprocRtl
+
+__all__ = [
+    "ByteReverseCfu", "ByteReverseRtl", "Cfu1Rtl", "FftButterflyCfu",
+    "FftButterflyRtl", "LIBRARY", "MinMaxCfu", "MinMaxRtl", "PopcountCfu",
+    "PopcountRtl", "SimdAddCfu", "SimdAddRtl", "cfu3_resources", "KwsCfu", "KwsCfu2Rtl", "MNV2_STAGES", "Mac4Rtl",
+    "Mnv2Cfu", "PostprocRtl", "stage_resources",
+]

@@ -1,0 +1,109 @@
+"""Software model of the Fomu keyword-spotting CFU (CFU2).
+
+Section III-B's accelerator: a 4-way SIMD multiply-accumulate (all four
+remaining DSP tiles) whose single lane 0 is reused by depthwise
+convolution, plus fabric-implemented accumulator post-processing
+(saturating multiply, rounding divide, clamp — the paper's "14x faster"
+unit).  Much smaller than CFU1: no data stores, the CPU feeds operands.
+
+===========  ======  =====================================================
+operation    funct3  semantics
+===========  ======  =====================================================
+CONFIG       0       funct7: 1 set multiplier, 2 set shift, 3 set zero
+                     point (a) and clamps (b = min | max << 8)
+MAC4         1       acc += dot4(a, b); funct7 = 1 resets acc first
+MAC1         2       acc += lane0(a) * lane0(b)  (depthwise reuse)
+POSTPROC     3       a = unused, b = bias; returns requantized int8 of
+                     acc + bias
+READ_ACC     4       returns the raw 32-bit accumulator
+===========  ======  =====================================================
+"""
+
+from __future__ import annotations
+
+from ...cfu.interface import CfuError, CfuModel
+from ...tflm.quantize import multiply_by_quantized_multiplier
+
+F3_CONFIG = 0
+F3_MAC4 = 1
+F3_MAC1 = 2
+F3_POSTPROC = 3
+F3_READ_ACC = 4
+
+CFG_MULT = 1
+CFG_SHIFT = 2
+CFG_OUTPUT = 3
+
+
+def _s32(value):
+    value &= 0xFFFFFFFF
+    return value - (1 << 32) if value & 0x8000_0000 else value
+
+
+def _s8(byte):
+    byte &= 0xFF
+    return byte - 256 if byte & 0x80 else byte
+
+
+class KwsCfu(CfuModel):
+    """Stateful software model of CFU2."""
+
+    name = "kws-cfu2"
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self):
+        self.acc = 0
+        self.mult = 1 << 30
+        self.shift = 0
+        self.output_zp = 0
+        self.act_min = -128
+        self.act_max = 127
+
+    def op(self, funct3, funct7, a, b):
+        if funct3 == F3_CONFIG:
+            if funct7 == CFG_MULT:
+                self.mult = _s32(a)
+            elif funct7 == CFG_SHIFT:
+                shift = _s32(a)
+                if shift > 0:
+                    raise CfuError("CFU2 postproc supports right shifts only")
+                self.shift = shift
+            elif funct7 == CFG_OUTPUT:
+                self.output_zp = _s32(a)
+                self.act_min = _s8(b)
+                self.act_max = _s8(b >> 8)
+            else:
+                raise CfuError(f"unknown config {funct7}")
+            return 0
+        if funct3 == F3_MAC4:
+            if funct7 == 1:
+                self.acc = 0
+            dot = sum(_s8(a >> (8 * i)) * _s8(b >> (8 * i)) for i in range(4))
+            self.acc = _s32(self.acc + dot)
+            return self.acc & 0xFFFFFFFF
+        if funct3 == F3_MAC1:
+            if funct7 == 1:
+                self.acc = 0
+            self.acc = _s32(self.acc + _s8(a) * _s8(b))
+            return self.acc & 0xFFFFFFFF
+        if funct3 == F3_POSTPROC:
+            acc = _s32(self.acc + _s32(b))
+            scaled = int(multiply_by_quantized_multiplier(acc, self.mult,
+                                                          self.shift))
+            out = scaled + self.output_zp
+            return max(self.act_min, min(self.act_max, out)) & 0xFF
+        if funct3 == F3_READ_ACC:
+            return self.acc & 0xFFFFFFFF
+        raise CfuError(f"unknown funct3 {funct3}")
+
+    def latency(self, funct3, funct7):
+        if funct3 == F3_POSTPROC:
+            return 6  # multi-cycle fabric multiplier (no DSP tiles left)
+        return 1
+
+    def resources(self):
+        from .resources import cfu2_resources
+
+        return cfu2_resources()

@@ -1,0 +1,33 @@
+"""Resource report for CFU2 on the iCE40.
+
+The SIMD MAC maps its four 8x8 multipliers onto Fomu's four remaining
+DSP tiles.  The post-processing multiplier must be built from fabric
+("although no DSP tiles were left" — Section III-B): the shipped unit is
+a *time-multiplexed* shift-add multiplier plus the rounding/clamp path,
+so its cost is far below the fully-combinational estimate that
+``estimate(KwsCfu2Rtl().module)`` reports for the single-cycle datapath.
+The figures here are the serialized implementation's budget; a unit test
+pins them against the Fomu fit story.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ...rtl.synth import ResourceReport
+
+#: The 4-lane SIMD MAC, the accumulator, the MAC1 lane mux, and the
+#: command decode/handshake glue.
+_MAC_UNIT = ResourceReport(luts=220, ffs=130, dsps=4)
+#: The serialized post-processing unit: multi-cycle shift-add multiplier,
+#: rounding divider, clamp, and its parameter registers.
+_POSTPROC_UNIT = ResourceReport(luts=80, ffs=45, dsps=0)
+
+
+@lru_cache(maxsize=None)
+def cfu2_resources(postproc=True):
+    """CFU2 resources; ``postproc=False`` is the *MAC Conv* rung (before
+    the fabric post-processing unit was added)."""
+    if postproc:
+        return _MAC_UNIT + _POSTPROC_UNIT
+    return _MAC_UNIT

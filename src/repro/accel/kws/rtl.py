@@ -1,0 +1,79 @@
+"""Gateware for CFU2 (the Fomu keyword-spotting CFU)."""
+
+from __future__ import annotations
+
+from ...cfu.rtl import RtlCfu
+from ...rtl import Mux, Signal
+from ..common import dot4_expr, lane_s8, requantize_expr
+from .model import (
+    CFG_MULT,
+    CFG_OUTPUT,
+    CFG_SHIFT,
+    F3_CONFIG,
+    F3_MAC1,
+    F3_MAC4,
+    F3_POSTPROC,
+    F3_READ_ACC,
+)
+
+
+class KwsCfu2Rtl(RtlCfu):
+    """4-way SIMD MAC + scalar-parameter post-processing unit."""
+
+    name = "kws-cfu2"
+
+    def elaborate(self, m, ports):
+        acc = Signal(32, name="k2_acc", signed=True)
+        mult = Signal(32, name="k2_mult", signed=True, reset=1 << 30)
+        right_shift = Signal(5, name="k2_rshift")
+        zero_point = Signal(16, name="k2_zp", signed=True)
+        act_min = Signal(8, name="k2_actmin", signed=True, reset=0x80)
+        act_max = Signal(8, name="k2_actmax", signed=True, reset=0x7F)
+
+        f3 = ports.cmd_funct3
+        f7 = ports.cmd_funct7
+        m.d.comb += ports.cmd_ready.eq(1)
+        m.d.comb += ports.rsp_valid.eq(ports.cmd_valid)
+        accepted = ports.cmd_valid & ports.rsp_ready
+
+        # Configuration registers.
+        with m.If(accepted & (f3 == F3_CONFIG)):
+            with m.If(f7 == CFG_MULT):
+                m.d.sync += mult.eq(ports.cmd_in0)
+            with m.Elif(f7 == CFG_SHIFT):
+                m.d.sync += right_shift.eq((0 - ports.cmd_in0)[0:5])
+            with m.Elif(f7 == CFG_OUTPUT):
+                m.d.sync += zero_point.eq(ports.cmd_in0[0:16])
+                m.d.sync += act_min.eq(ports.cmd_in1[0:8])
+                m.d.sync += act_max.eq(ports.cmd_in1[8:16])
+
+        # MAC datapath: 4 lanes or the single lane 0 (depthwise reuse).
+        dot4 = dot4_expr(ports.cmd_in0, ports.cmd_in1)
+        dot1 = lane_s8(ports.cmd_in0, 0) * lane_s8(ports.cmd_in1, 0)
+        is_mac4 = f3 == F3_MAC4
+        is_mac1 = f3 == F3_MAC1
+        base = Mux(f7 == 1, 0, acc).as_signed()
+        new_acc4 = (base + dot4)[0:32]
+        new_acc1 = (base + dot1)[0:32]
+        with m.If(accepted & is_mac4):
+            m.d.sync += acc.eq(new_acc4)
+        with m.Elif(accepted & is_mac1):
+            m.d.sync += acc.eq(new_acc1)
+
+        # Post-processing: acc + bias (operand b) through the TFLM path.
+        post = requantize_expr(
+            acc + ports.cmd_in1.as_signed(), mult, right_shift,
+            zero_point, act_min, act_max,
+        )
+
+        result = Signal(32, name="k2_result")
+        m.d.comb += result.eq(0)
+        with m.If(is_mac4):
+            m.d.comb += result.eq(new_acc4)
+        with m.Elif(is_mac1):
+            m.d.comb += result.eq(new_acc1)
+        with m.Elif(f3 == F3_POSTPROC):
+            m.d.comb += result.eq(post[0:8])
+        with m.Elif(f3 == F3_READ_ACC):
+            m.d.comb += result.eq(acc)
+        m.d.comb += ports.rsp_out.eq(result)

@@ -1,0 +1,222 @@
+"""A reusable CFU component library.
+
+CFU Playground is pitched as a community framework ("facilitate rich
+community-driven ecosystem development", Section I); beyond the paper's
+two bespoke units this module ships the generic CFUs a contributor
+toolbox would carry, each as the canonical pair (software model +
+gateware) with matching opcodes so the golden harness applies directly:
+
+- :class:`SimdAddCfu` — packed 4x int8 saturating/wrapping add (the
+  ``simd_add`` example from Section II-D's macro discussion);
+- :class:`PopcountCfu` — population count / parity (bit-manipulation
+  workloads, BNN layers);
+- :class:`MinMaxCfu` — packed int8 min/max reduction with a running
+  register (max-pooling acceleration);
+- :class:`ByteReverseCfu` — byte/bit reversal (FFT reordering, endian
+  conversion).
+"""
+
+from __future__ import annotations
+
+from ..cfu.interface import CfuError, CfuModel
+from ..cfu.rtl import RtlCfu
+from ..rtl import Cat, Mux, Signal
+
+
+def _s8(byte):
+    byte &= 0xFF
+    return byte - 256 if byte & 0x80 else byte
+
+
+def _lanes(word):
+    return [(word >> (8 * i)) & 0xFF for i in range(4)]
+
+
+# --------------------------------------------------------------------------------
+# SIMD add
+# --------------------------------------------------------------------------------
+
+SIMD_ADD = 0        # funct7 0: wrapping; funct7 1: signed saturating
+
+
+class SimdAddCfu(CfuModel):
+    name = "simd-add"
+
+    def op(self, funct3, funct7, a, b):
+        if funct3 != SIMD_ADD:
+            raise CfuError(f"unknown funct3 {funct3}")
+        out = 0
+        for i in range(4):
+            la, lb = _s8(a >> (8 * i)), _s8(b >> (8 * i))
+            total = la + lb
+            if funct7 == 1:
+                total = max(-128, min(127, total))
+            out |= (total & 0xFF) << (8 * i)
+        return out
+
+
+class SimdAddRtl(RtlCfu):
+    name = "simd-add"
+
+    def elaborate(self, m, ports):
+        m.d.comb += ports.cmd_ready.eq(1)
+        m.d.comb += ports.rsp_valid.eq(ports.cmd_valid)
+        saturate = ports.cmd_funct7 == 1
+        from ..rtl import Const
+
+        int8_max = Const(127, 8).as_signed()
+        int8_min = Const(-128, 8)  # negative constants are already signed
+        lanes = []
+        for i in range(4):
+            a = ports.cmd_in0[8 * i:8 * i + 8].as_signed()
+            b = ports.cmd_in1[8 * i:8 * i + 8].as_signed()
+            total = a + b  # 9-bit signed
+            clamped_hi = Mux(total > 127, int8_max, total)
+            clamped = Mux(clamped_hi < -128, int8_min, clamped_hi)
+            lanes.append(Mux(saturate, clamped, total)[0:8])
+        m.d.comb += ports.rsp_out.eq(Cat(*lanes))
+
+
+# --------------------------------------------------------------------------------
+# Popcount
+# --------------------------------------------------------------------------------
+
+POPCOUNT = 0        # funct7 0: popcount(a); funct7 1: parity(a)
+
+
+class PopcountCfu(CfuModel):
+    name = "popcount"
+
+    def op(self, funct3, funct7, a, b):
+        if funct3 != POPCOUNT:
+            raise CfuError(f"unknown funct3 {funct3}")
+        count = bin(a & 0xFFFFFFFF).count("1")
+        return (count & 1) if funct7 == 1 else count
+
+
+class PopcountRtl(RtlCfu):
+    name = "popcount"
+
+    def elaborate(self, m, ports):
+        m.d.comb += ports.cmd_ready.eq(1)
+        m.d.comb += ports.rsp_valid.eq(ports.cmd_valid)
+        total = None
+        for i in range(32):
+            bit = ports.cmd_in0[i]
+            total = bit if total is None else (total + bit)
+        parity = ports.cmd_in0.xor()
+        m.d.comb += ports.rsp_out.eq(
+            Mux(ports.cmd_funct7 == 1, parity, total))
+
+
+# --------------------------------------------------------------------------------
+# Packed min/max with running register (pooling)
+# --------------------------------------------------------------------------------
+
+MINMAX_FEED = 0     # funct7 0: running max; funct7 1: running min
+MINMAX_READ = 1     # funct7 0: read register; funct7 1: reset
+
+
+class MinMaxCfu(CfuModel):
+    name = "simd-minmax"
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self):
+        self.register = [(-128) & 0xFF] * 4
+
+    def op(self, funct3, funct7, a, b):
+        if funct3 == MINMAX_FEED:
+            pick = max if funct7 == 0 else min
+            self.register = [
+                pick(_s8(r), _s8(x), _s8(y)) & 0xFF
+                for r, x, y in zip(self.register, _lanes(a), _lanes(b))
+            ]
+            return self._packed()
+        if funct3 == MINMAX_READ:
+            if funct7 == 1:
+                value = self._packed()
+                self.reset()
+                return value
+            return self._packed()
+        raise CfuError(f"unknown funct3 {funct3}")
+
+    def _packed(self):
+        out = 0
+        for i, lane in enumerate(self.register):
+            out |= lane << (8 * i)
+        return out
+
+
+class MinMaxRtl(RtlCfu):
+    name = "simd-minmax"
+
+    def elaborate(self, m, ports):
+        register = Signal(32, name="mm_reg",
+                          reset=0x80808080)  # four lanes of -128
+        m.d.comb += ports.cmd_ready.eq(1)
+        m.d.comb += ports.rsp_valid.eq(ports.cmd_valid)
+        f3, f7 = ports.cmd_funct3, ports.cmd_funct7
+        accepted = ports.cmd_valid & ports.rsp_ready
+
+        lanes = []
+        for i in range(4):
+            r = register[8 * i:8 * i + 8].as_signed()
+            x = ports.cmd_in0[8 * i:8 * i + 8].as_signed()
+            y = ports.cmd_in1[8 * i:8 * i + 8].as_signed()
+            bigger_xy = Mux(x > y, x, y)
+            smaller_xy = Mux(x < y, x, y)
+            maxed = Mux(bigger_xy > r, bigger_xy, r)
+            minned = Mux(smaller_xy < r, smaller_xy, r)
+            lanes.append(Mux(f7 == 1, minned, maxed)[0:8])
+        fed = Cat(*lanes)
+        with m.If(accepted & (f3 == MINMAX_FEED)):
+            m.d.sync += register.eq(fed)
+        with m.If(accepted & (f3 == MINMAX_READ) & (f7 == 1)):
+            m.d.sync += register.eq(0x80808080)
+        m.d.comb += ports.rsp_out.eq(
+            Mux(f3 == MINMAX_FEED, fed, register))
+
+
+# --------------------------------------------------------------------------------
+# Byte / bit reversal
+# --------------------------------------------------------------------------------
+
+REVERSE = 0         # funct7 0: byte swap; funct7 1: full bit reversal
+
+
+class ByteReverseCfu(CfuModel):
+    name = "byte-reverse"
+
+    def op(self, funct3, funct7, a, b):
+        if funct3 != REVERSE:
+            raise CfuError(f"unknown funct3 {funct3}")
+        a &= 0xFFFFFFFF
+        if funct7 == 1:
+            return int(f"{a:032b}"[::-1], 2)
+        return int.from_bytes(a.to_bytes(4, "little"), "big")
+
+
+class ByteReverseRtl(RtlCfu):
+    name = "byte-reverse"
+
+    def elaborate(self, m, ports):
+        m.d.comb += ports.cmd_ready.eq(1)
+        m.d.comb += ports.rsp_valid.eq(ports.cmd_valid)
+        a = ports.cmd_in0
+        byte_swapped = Cat(a[24:32], a[16:24], a[8:16], a[0:8])
+        bit_reversed = Cat(*[a[31 - i] for i in range(32)])
+        m.d.comb += ports.rsp_out.eq(
+            Mux(ports.cmd_funct7 == 1, bit_reversed, byte_swapped))
+
+
+LIBRARY = {
+    "simd-add": (SimdAddCfu, SimdAddRtl, [(SIMD_ADD, 0), (SIMD_ADD, 1)]),
+    "popcount": (PopcountCfu, PopcountRtl, [(POPCOUNT, 0), (POPCOUNT, 1)]),
+    "simd-minmax": (MinMaxCfu, MinMaxRtl,
+                    [(MINMAX_FEED, 0), (MINMAX_FEED, 1),
+                     (MINMAX_READ, 0), (MINMAX_READ, 1)]),
+    "byte-reverse": (ByteReverseCfu, ByteReverseRtl,
+                     [(REVERSE, 0), (REVERSE, 1)]),
+}

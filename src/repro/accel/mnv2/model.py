@@ -1,0 +1,224 @@
+"""Software model of the MNV2 1x1-convolution CFU family (CFU1).
+
+This is the CFU grown step by step in Section III-A (Fig. 5 shows the
+final datapath).  One stateful model implements every operation the
+ladder introduces; earlier ladder steps simply use subsets:
+
+===========  ======  =========================================================
+operation    funct3  semantics
+===========  ======  =========================================================
+CONFIG       0       funct7 selects: 0 reset, 1..3 append bias/mult/shift,
+                     4 set output params (zero point, clamps), 5 set depth
+                     (input-channel words), 6 reset channel/read pointers
+POSTPROC     1       a = int32 accumulator -> requantized int8 (channel
+                     auto-increments)
+WRITE_FILT   2       append packed 4xint8 filter word to the filter store
+WRITE_INPUT  3       append packed input word (funct7 = 1 resets pointer)
+READ_FILT    4       read back filter word (a = index; debug/verify path)
+MAC4         5       acc += dot(a, b) of packed 4xint8 words
+                     (funct7 = 1 resets acc first); returns acc
+RUN1         6       compute one output channel from internal buffers;
+                     funct7 = 0 raw acc, 1 post-processed int8,
+                     2 packed word of 4 outputs (Macc4Run4)
+STATE        7       read accumulator / pointers (debug)
+===========  ======  =========================================================
+
+All arithmetic is bit-exact with :mod:`repro.tflm.quantize`, which is
+what makes the swap-in software emulation (Section II-E) a valid test
+oracle for the gateware.
+"""
+
+from __future__ import annotations
+
+from ...cfu.interface import CfuError, CfuModel
+from ...tflm.quantize import multiply_by_quantized_multiplier
+
+F3_CONFIG = 0
+F3_POSTPROC = 1
+F3_WRITE_FILT = 2
+F3_WRITE_INPUT = 3
+F3_READ_FILT = 4
+F3_MAC4 = 5
+F3_RUN1 = 6
+F3_STATE = 7
+
+CFG_RESET = 0
+CFG_BIAS = 1
+CFG_MULT = 2
+CFG_SHIFT = 3
+CFG_OUTPUT = 4
+CFG_DEPTH = 5
+CFG_RESTART = 6
+
+RUN_RAW = 0
+RUN_POSTPROC = 1
+RUN_PACK4 = 2
+
+#: Capacity of the on-CFU stores (words); sized for MNV2's largest layer.
+FILTER_WORDS = 4096
+INPUT_WORDS = 256
+CHANNELS = 512
+
+
+def _s32(value):
+    value &= 0xFFFFFFFF
+    return value - (1 << 32) if value & 0x8000_0000 else value
+
+
+def _s8(byte):
+    return byte - 256 if byte & 0x80 else byte
+
+
+def _unpack4(word):
+    return [_s8((word >> (8 * i)) & 0xFF) for i in range(4)]
+
+
+def _pack4(values):
+    word = 0
+    for i, v in enumerate(values):
+        word |= (v & 0xFF) << (8 * i)
+    return word
+
+
+class Mnv2Cfu(CfuModel):
+    """Stateful software model of CFU1 (all ladder operations)."""
+
+    name = "mnv2-cfu1"
+
+    def __init__(self, pipelined_input=False, run_cycles_per_word=1.0):
+        #: When True, input writes overlap RUN execution (the final
+        #: *Overlap input* ladder step); affects latency only.
+        self.pipelined_input = pipelined_input
+        #: Throughput of the autonomous RUN loop.  Early run-FSM stages
+        #: share a single-ported store between filter and input reads
+        #: (2 cycles/word); *Macc4Run4* banks the filter store (1.5);
+        #: the final pipelined design reaches one word per cycle — the
+        #: throughput :class:`~repro.accel.mnv2.rtl.Cfu1Rtl` implements.
+        self.run_cycles_per_word = run_cycles_per_word
+        self.reset()
+
+    def reset(self):
+        self.bias = []
+        self.mult = []
+        self.shift = []
+        self.output_zp = 0
+        self.act_min = -128
+        self.act_max = 127
+        self.depth_words = 1
+        self.filter_store = []
+        self.input_store = []
+        self.acc = 0
+        self.channel = 0
+        self.filter_ptr = 0
+
+    # --- operation dispatch -------------------------------------------------------
+    def op(self, funct3, funct7, a, b):
+        if funct3 == F3_CONFIG:
+            return self._config(funct7, a, b)
+        if funct3 == F3_POSTPROC:
+            return self._postprocess(_s32(a)) & 0xFF
+        if funct3 == F3_WRITE_FILT:
+            self.filter_store.append(a)
+            return len(self.filter_store)
+        if funct3 == F3_WRITE_INPUT:
+            if funct7 == 1:
+                self.input_store = []
+            self.input_store.append(a)
+            return len(self.input_store)
+        if funct3 == F3_READ_FILT:
+            return self.filter_store[a % max(1, len(self.filter_store))]
+        if funct3 == F3_MAC4:
+            if funct7 == 1:
+                self.acc = 0
+            self.acc = _s32(self.acc + self._dot4(a, b))
+            return self.acc & 0xFFFFFFFF
+        if funct3 == F3_RUN1:
+            return self._run(funct7)
+        if funct3 == F3_STATE:
+            return {0: self.acc & 0xFFFFFFFF, 1: self.channel,
+                    2: self.filter_ptr}.get(funct7, 0)
+        raise CfuError(f"unknown funct3 {funct3}")
+
+    def _config(self, funct7, a, b):
+        if funct7 == CFG_RESET:
+            self.reset()
+        elif funct7 == CFG_BIAS:
+            self.bias.append(_s32(a))
+        elif funct7 == CFG_MULT:
+            self.mult.append(_s32(a))
+        elif funct7 == CFG_SHIFT:
+            shift = _s32(a)
+            if shift > 0:
+                raise CfuError("CFU postproc supports right shifts only")
+            self.shift.append(shift)
+        elif funct7 == CFG_OUTPUT:
+            self.output_zp = _s32(a)
+            self.act_min = _s8(b & 0xFF)
+            self.act_max = _s8((b >> 8) & 0xFF)
+        elif funct7 == CFG_DEPTH:
+            self.depth_words = max(1, a)
+        elif funct7 == CFG_RESTART:
+            self.channel = 0
+            self.filter_ptr = 0
+        else:
+            raise CfuError(f"unknown config op {funct7}")
+        return 0
+
+    # --- datapath pieces -----------------------------------------------------------
+    @staticmethod
+    def _dot4(a, b):
+        return sum(x * y for x, y in zip(_unpack4(a), _unpack4(b)))
+
+    def _postprocess(self, acc):
+        channel = self.channel % max(1, len(self.bias))
+        acc = acc + self.bias[channel]
+        scaled = int(multiply_by_quantized_multiplier(
+            acc, self.mult[channel], self.shift[channel]
+        ))
+        out = scaled + self.output_zp
+        out = max(self.act_min, min(self.act_max, out))
+        self.channel += 1
+        return out
+
+    def _accumulate_one_channel(self):
+        acc = 0
+        for i in range(self.depth_words):
+            filt = self.filter_store[(self.filter_ptr + i) % FILTER_WORDS]
+            inp = self.input_store[i % max(1, len(self.input_store))]
+            acc += self._dot4(inp, filt)
+        self.filter_ptr += self.depth_words
+        return _s32(acc)
+
+    def _run(self, funct7):
+        if funct7 == RUN_RAW:
+            self.acc = self._accumulate_one_channel()
+            return self.acc & 0xFFFFFFFF
+        if funct7 == RUN_POSTPROC:
+            return self._postprocess(self._accumulate_one_channel()) & 0xFF
+        if funct7 == RUN_PACK4:
+            outputs = [self._postprocess(self._accumulate_one_channel())
+                       for _ in range(4)]
+            return _pack4(outputs)
+        raise CfuError(f"unknown run mode {funct7}")
+
+    # --- timing ---------------------------------------------------------------------
+    def latency(self, funct3, funct7):
+        if funct3 == F3_RUN1:
+            run = self.depth_words * self.run_cycles_per_word
+            per_output = int(-(-run // 1)) + (0 if self.pipelined_input else 1)
+            if funct7 == RUN_PACK4:
+                return 4 * per_output + 2
+            return per_output + 2
+        if funct3 == F3_POSTPROC:
+            return 3  # two-stage multiplier + clamp
+        return 1
+
+    def ii(self, funct3, funct7):
+        if funct3 == F3_POSTPROC:
+            return 1  # pipelined
+        return self.latency(funct3, funct7)
+
+    def resources(self):
+        from .resources import stage_resources
+
+        return stage_resources("cfu1_full")

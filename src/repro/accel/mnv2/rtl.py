@@ -1,0 +1,311 @@
+"""Gateware for the MNV2 CFU ladder, in the RTL DSL (the nMigen role).
+
+Three designs, matching the growth of the CFU in Section III-A:
+
+- :class:`PostprocRtl` — the first custom instruction: per-channel
+  bias/multiplier/shift tables plus the requantization datapath
+  (*CFU postproc* step).
+- :class:`Mac4Rtl` — the packed 4x4 multiply-accumulate instruction
+  (*CFU MAC4* step).
+- :class:`Cfu1Rtl` — the full Fig. 5 design: filter and input stores,
+  an autonomous accumulation FSM (Mac4Run1), integrated post-processing
+  and 4-output packing (Macc4Run4).
+
+Each is verified against :class:`~repro.accel.mnv2.model.Mnv2Cfu` by the
+golden-test harness; store depths are parameterisable so simulation
+tests stay fast while synthesis estimates use full-size stores.
+"""
+
+from __future__ import annotations
+
+from ...cfu.rtl import RtlCfu
+from ...rtl import Cat, Memory, Mux, Signal
+from ..common import dot4_expr, requantize_expr
+from .model import (
+    CFG_BIAS,
+    CFG_MULT,
+    CFG_OUTPUT,
+    CFG_RESTART,
+    CFG_SHIFT,
+    F3_CONFIG,
+    F3_MAC4,
+    F3_POSTPROC,
+    F3_RUN1,
+    F3_WRITE_FILT,
+    F3_WRITE_INPUT,
+    RUN_POSTPROC,
+    RUN_RAW,
+)
+
+
+class PostprocRtl(RtlCfu):
+    """Channel-parameter tables + requantization pipeline."""
+
+    name = "mnv2-postproc"
+
+    def __init__(self, channels=64):
+        self.channels = channels
+        super().__init__()
+
+    def elaborate(self, m, ports):
+        channels = self.channels
+        bias_mem = m.add_memory(Memory(32, channels, name="pp_bias"))
+        mult_mem = m.add_memory(Memory(32, channels, name="pp_mult"))
+        shift_mem = m.add_memory(Memory(5, channels, name="pp_shift"))
+        write_ptr = Signal(16, name="pp_wptr")
+        channel = Signal(16, name="pp_channel")
+        zero_point = Signal(16, name="pp_zp", signed=True)
+        act_min = Signal(8, name="pp_actmin", signed=True, reset=0x80)
+        act_max = Signal(8, name="pp_actmax", signed=True, reset=0x7F)
+
+        bias_rp, mult_rp, shift_rp = (mem.read_port() for mem in
+                                      (bias_mem, mult_mem, shift_mem))
+        bias_wp, mult_wp, shift_wp = (mem.write_port() for mem in
+                                      (bias_mem, mult_mem, shift_mem))
+
+        m.d.comb += ports.cmd_ready.eq(1)
+        m.d.comb += ports.rsp_valid.eq(ports.cmd_valid)
+
+        accepted = ports.cmd_valid & ports.rsp_ready
+
+        # Config writes share the write pointer (bias/mult/shift arrive in
+        # equal-length streams, as the kernel writes channel after channel).
+        for mem_wp, cfg in ((bias_wp, CFG_BIAS), (mult_wp, CFG_MULT),
+                            (shift_wp, CFG_SHIFT)):
+            sel = (ports.cmd_funct3 == F3_CONFIG) & (ports.cmd_funct7 == cfg)
+            m.d.comb += mem_wp.addr.eq(write_ptr[0:bias_wp.addr.width])
+            if cfg == CFG_SHIFT:
+                # Stored as a right-shift amount: negate the signed shift.
+                m.d.comb += mem_wp.data.eq((0 - ports.cmd_in0)[0:5])
+            else:
+                m.d.comb += mem_wp.data.eq(ports.cmd_in0)
+            m.d.comb += mem_wp.en.eq(accepted & sel)
+
+        with m.If(accepted & (ports.cmd_funct3 == F3_CONFIG)):
+            with m.If(ports.cmd_funct7 == CFG_SHIFT):
+                m.d.sync += write_ptr.eq(write_ptr + 1)  # shift arrives last
+            with m.Elif(ports.cmd_funct7 == CFG_RESTART):
+                m.d.sync += channel.eq(0)
+            with m.Elif(ports.cmd_funct7 == CFG_OUTPUT):
+                m.d.sync += zero_point.eq(ports.cmd_in0[0:16])
+                m.d.sync += act_min.eq(ports.cmd_in1[0:8])
+                m.d.sync += act_max.eq(ports.cmd_in1[8:16])
+
+        # Requantization datapath (combinational; the physical design
+        # pipelines it over 2 stages, reflected in the model's latency).
+        m.d.comb += bias_rp.addr.eq(channel[0:bias_rp.addr.width])
+        m.d.comb += mult_rp.addr.eq(channel[0:mult_rp.addr.width])
+        m.d.comb += shift_rp.addr.eq(channel[0:shift_rp.addr.width])
+        acc = ports.cmd_in0.as_signed()
+        acc_b = acc + bias_rp.data.as_signed()
+        out = requantize_expr(acc_b, mult_rp.data.as_signed(), shift_rp.data,
+                              zero_point, act_min, act_max)
+        is_postproc = ports.cmd_funct3 == F3_POSTPROC
+        with m.If(accepted & is_postproc):
+            m.d.sync += channel.eq(
+                Mux(channel + 1 == self.channels, 0, channel + 1)
+            )
+        m.d.comb += ports.rsp_out.eq(Mux(is_postproc, out[0:8], 0))
+
+
+class Mac4Rtl(RtlCfu):
+    """Packed 4x(int8*int8) multiply-accumulate with a 32-bit accumulator."""
+
+    name = "mnv2-mac4"
+
+    def elaborate(self, m, ports):
+        acc = Signal(32, name="mac4_acc", signed=True)
+        m.d.comb += ports.cmd_ready.eq(1)
+        m.d.comb += ports.rsp_valid.eq(ports.cmd_valid)
+
+        dot = dot4_expr(ports.cmd_in0, ports.cmd_in1)
+        base = Mux(ports.cmd_funct7 == 1, 0, acc)  # funct7=1: reset first
+        new_acc = (base.as_signed() + dot)[0:32]
+        is_mac = ports.cmd_funct3 == F3_MAC4
+        accepted = ports.cmd_valid & ports.rsp_ready
+        with m.If(accepted & is_mac):
+            m.d.sync += acc.eq(new_acc)
+        m.d.comb += ports.rsp_out.eq(Mux(is_mac, new_acc, acc))
+
+
+class Cfu1Rtl(RtlCfu):
+    """The complete CFU1: stores + autonomous run FSM + post-processing.
+
+    States: IDLE (single-cycle ops respond combinationally) -> RUN
+    (one MAC4 per cycle from the stores) -> POST (requantize) -> repeat
+    RUN/POST for packed 4-output mode -> DONE.
+    """
+
+    name = "mnv2-cfu1"
+
+    _IDLE, _RUN, _POST, _DONE = range(4)
+
+    def __init__(self, channels=64, filter_words=256, input_words=64):
+        self.channels = channels
+        self.filter_words = filter_words
+        self.input_words = input_words
+        super().__init__()
+
+    def elaborate(self, m, ports):
+        filt_mem = m.add_memory(Memory(32, self.filter_words, name="c1_filt"))
+        inp_mem = m.add_memory(Memory(32, self.input_words, name="c1_inp"))
+        bias_mem = m.add_memory(Memory(32, self.channels, name="c1_bias"))
+        mult_mem = m.add_memory(Memory(32, self.channels, name="c1_mult"))
+        shift_mem = m.add_memory(Memory(5, self.channels, name="c1_shift"))
+
+        state = Signal(2, name="c1_state")
+        depth = Signal(12, name="c1_depth", reset=1)
+        step = Signal(12, name="c1_step")
+        acc = Signal(32, name="c1_acc", signed=True)
+        channel = Signal(16, name="c1_channel")
+        filt_ptr = Signal(16, name="c1_fptr")
+        filt_wptr = Signal(16, name="c1_fwptr")
+        inp_wptr = Signal(16, name="c1_iwptr")
+        param_wptr = Signal(16, name="c1_pwptr")
+        run_mode = Signal(2, name="c1_runmode")
+        out_count = Signal(3, name="c1_outcnt")
+        out_word = Signal(32, name="c1_outword")
+        zero_point = Signal(16, name="c1_zp", signed=True)
+        act_min = Signal(8, name="c1_actmin", signed=True, reset=0x80)
+        act_max = Signal(8, name="c1_actmax", signed=True, reset=0x7F)
+
+        filt_rp = filt_mem.read_port()
+        inp_rp = inp_mem.read_port()
+        bias_rp = bias_mem.read_port()
+        mult_rp = mult_mem.read_port()
+        shift_rp = shift_mem.read_port()
+        filt_wp = filt_mem.write_port()
+        inp_wp = inp_mem.write_port()
+        bias_wp = bias_mem.write_port()
+        mult_wp = mult_mem.write_port()
+        shift_wp = shift_mem.write_port()
+
+        idle = state == self._IDLE
+        f3 = ports.cmd_funct3
+        f7 = ports.cmd_funct7
+        is_run = f3 == F3_RUN1
+        m.d.comb += ports.cmd_ready.eq(idle)
+        accepted = ports.cmd_valid & ports.cmd_ready & ports.rsp_ready
+
+        # --- single-cycle operations (respond combinationally) ------------------
+        single = ports.cmd_valid & idle & ~is_run
+        m.d.comb += ports.rsp_valid.eq(single | (state == self._DONE))
+
+        # Stores.
+        m.d.comb += filt_wp.addr.eq(filt_wptr[0:filt_wp.addr.width])
+        m.d.comb += filt_wp.data.eq(ports.cmd_in0)
+        m.d.comb += filt_wp.en.eq(accepted & (f3 == F3_WRITE_FILT))
+        m.d.comb += inp_wp.addr.eq(inp_wptr[0:inp_wp.addr.width])
+        m.d.comb += inp_wp.data.eq(ports.cmd_in0)
+        m.d.comb += inp_wp.en.eq(accepted & (f3 == F3_WRITE_INPUT))
+        for wp, cfg in ((bias_wp, CFG_BIAS), (mult_wp, CFG_MULT),
+                        (shift_wp, CFG_SHIFT)):
+            m.d.comb += wp.addr.eq(param_wptr[0:wp.addr.width])
+            if cfg == CFG_SHIFT:
+                m.d.comb += wp.data.eq((0 - ports.cmd_in0)[0:5])
+            else:
+                m.d.comb += wp.data.eq(ports.cmd_in0)
+            m.d.comb += wp.en.eq(accepted & (f3 == F3_CONFIG) & (f7 == cfg))
+
+        with m.If(accepted & (f3 == F3_WRITE_FILT)):
+            m.d.sync += filt_wptr.eq(filt_wptr + 1)
+        with m.If(accepted & (f3 == F3_WRITE_INPUT)):
+            with m.If(f7 == 1):
+                m.d.sync += inp_wptr.eq(1)
+            with m.Else():
+                m.d.sync += inp_wptr.eq(inp_wptr + 1)
+        # Input writes with funct7=1 must land at address 0.
+        with m.If(accepted & (f3 == F3_WRITE_INPUT) & (f7 == 1)):
+            m.d.comb += inp_wp.addr.eq(0)
+
+        with m.If(accepted & (f3 == F3_CONFIG)):
+            with m.If(f7 == CFG_SHIFT):
+                m.d.sync += param_wptr.eq(param_wptr + 1)
+            with m.Elif(f7 == CFG_OUTPUT):
+                m.d.sync += zero_point.eq(ports.cmd_in0[0:16])
+                m.d.sync += act_min.eq(ports.cmd_in1[0:8])
+                m.d.sync += act_max.eq(ports.cmd_in1[8:16])
+            with m.Elif(f7 == 5):  # CFG_DEPTH
+                m.d.sync += depth.eq(ports.cmd_in0[0:12])
+            with m.Elif(f7 == CFG_RESTART):
+                # Restart one pixel's walk: rewind the read pointers but
+                # keep the uploaded filters and parameters.
+                m.d.sync += channel.eq(0)
+                m.d.sync += filt_ptr.eq(0)
+
+        # --- RUN FSM --------------------------------------------------------------
+        with m.If(accepted & is_run & idle):
+            m.d.sync += state.eq(self._RUN)
+            m.d.sync += step.eq(0)
+            m.d.sync += acc.eq(0)
+            m.d.sync += run_mode.eq(f7[0:2])
+            m.d.sync += out_count.eq(0)
+            m.d.sync += out_word.eq(0)
+
+        m.d.comb += filt_rp.addr.eq((filt_ptr + step)[0:filt_rp.addr.width])
+        m.d.comb += inp_rp.addr.eq(step[0:inp_rp.addr.width])
+        dot = dot4_expr(inp_rp.data, filt_rp.data)
+
+        with m.If(state == self._RUN):
+            m.d.sync += acc.eq((acc + dot)[0:32])
+            m.d.sync += step.eq(step + 1)
+            with m.If(step + 1 == depth):
+                m.d.sync += state.eq(self._POST)
+                m.d.sync += filt_ptr.eq(filt_ptr + depth)
+
+        # --- POST: requantize the accumulator -------------------------------------
+        m.d.comb += bias_rp.addr.eq(channel[0:bias_rp.addr.width])
+        m.d.comb += mult_rp.addr.eq(channel[0:mult_rp.addr.width])
+        m.d.comb += shift_rp.addr.eq(channel[0:shift_rp.addr.width])
+        post_out = requantize_expr(
+            acc + bias_rp.data.as_signed(), mult_rp.data.as_signed(),
+            shift_rp.data, zero_point, act_min, act_max,
+        )
+
+        with m.If(state == self._POST):
+            with m.If(run_mode == RUN_RAW):
+                m.d.sync += out_word.eq(acc)
+                m.d.sync += state.eq(self._DONE)
+            with m.Elif(run_mode == RUN_POSTPROC):
+                m.d.sync += out_word.eq(post_out[0:8])
+                m.d.sync += channel.eq(channel + 1)
+                m.d.sync += state.eq(self._DONE)
+            with m.Else():  # RUN_PACK4
+                m.d.sync += out_word.eq(
+                    Cat(out_word[8:32], post_out[0:8])
+                )
+                m.d.sync += channel.eq(channel + 1)
+                m.d.sync += out_count.eq(out_count + 1)
+                with m.If(out_count == 3):
+                    m.d.sync += state.eq(self._DONE)
+                with m.Else():
+                    m.d.sync += state.eq(self._RUN)
+                    m.d.sync += step.eq(0)
+                    m.d.sync += acc.eq(0)
+
+        # --- DONE: present the result ------------------------------------------------
+        single_result = Signal(32, name="c1_single_result")
+        m.d.comb += single_result.eq(0)
+        with m.If(f3 == F3_WRITE_FILT):
+            m.d.comb += single_result.eq(filt_wptr + 1)
+        with m.Elif(f3 == F3_WRITE_INPUT):
+            m.d.comb += single_result.eq(inp_wptr + 1)
+        with m.Elif(f3 == F3_MAC4):
+            m.d.comb += single_result.eq(
+                (acc.as_signed() + dot4_expr(ports.cmd_in0, ports.cmd_in1))[0:32]
+            )
+        with m.If(accepted & (f3 == F3_MAC4)):
+            with m.If(f7 == 1):
+                m.d.sync += acc.eq(dot4_expr(ports.cmd_in0, ports.cmd_in1)[0:32])
+            with m.Else():
+                m.d.sync += acc.eq(
+                    (acc.as_signed() + dot4_expr(ports.cmd_in0, ports.cmd_in1))[0:32]
+                )
+        with m.If((f3 == F3_MAC4) & (f7 == 1)):
+            m.d.comb += single_result.eq(dot4_expr(ports.cmd_in0, ports.cmd_in1)[0:32])
+
+        m.d.comb += ports.rsp_out.eq(
+            Mux(state == self._DONE, out_word, single_result)
+        )
+        with m.If((state == self._DONE) & ports.rsp_ready):
+            m.d.sync += state.eq(self._IDLE)

@@ -1,0 +1,10 @@
+"""Board models and the resource fitter."""
+
+from .board import ARTY_A7_35T, BOARDS, FOMU, ICEBREAKER, ORANGECRAB, Board, get_board
+from .fitter import UTILIZATION_LIMIT, FitError, FitResult, fit, require_fit
+
+__all__ = [
+    "ARTY_A7_35T", "BOARDS", "Board", "FOMU", "FitError", "FitResult",
+    "ICEBREAKER", "ORANGECRAB", "UTILIZATION_LIMIT", "fit", "get_board",
+    "require_fit",
+]

@@ -1,0 +1,105 @@
+"""FPGA board models with published resource inventories.
+
+These are the resource envelopes the paper's designs must fit.  Numbers
+come from the board/FPGA datasheets quoted in the paper (Section II-C):
+Fomu's iCE40UP5k has 5280 logic cells, 128 kB single-port RAM, 30
+512-byte block RAMs, and 8 DSP tiles; the Arty A7-35T's XC7A35T has
+~33k logic cells, 90 DSP slices, 50 36-kbit block RAMs and 256 MB DDR3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..perf.memories import DDR3, SPI_FLASH, MemoryTech
+
+
+@dataclass(frozen=True)
+class Board:
+    """One supported FPGA board."""
+
+    name: str
+    fpga: str
+    family: str
+    logic_cells: int
+    bram_bits: int
+    dsp_blocks: int
+    clock_hz: int
+    sram_bytes: int            # on-chip RAM usable as main memory (SPRAM etc.)
+    flash_bytes: int
+    flash_tech: MemoryTech = SPI_FLASH
+    flash_qspi_capable: bool = True
+    external_ram_bytes: int = 0
+    external_ram_tech: MemoryTech = None
+    toolchains: tuple = ("yosys+nextpnr",)
+
+    @property
+    def has_external_ram(self):
+        return self.external_ram_bytes > 0
+
+
+ARTY_A7_35T = Board(
+    name="arty_a7_35t",
+    fpga="XC7A35T",
+    family="xilinx7",
+    logic_cells=33_280,
+    bram_bits=50 * 36 * 1024,
+    dsp_blocks=90,
+    clock_hz=75_000_000,
+    sram_bytes=0,
+    flash_bytes=16 * 1024 * 1024,
+    external_ram_bytes=256 * 1024 * 1024,
+    external_ram_tech=DDR3,
+    toolchains=("f4pga", "vivado"),
+)
+
+FOMU = Board(
+    name="fomu",
+    fpga="iCE40UP5k",
+    family="ice40",
+    logic_cells=5_280,
+    bram_bits=30 * 512 * 8,          # 30 x 512-byte EBR blocks
+    dsp_blocks=8,                     # 16b x 16b MAC tiles
+    clock_hz=12_000_000,
+    sram_bytes=128 * 1024,            # 4 x 32 kB SPRAM
+    flash_bytes=2 * 1024 * 1024,
+    toolchains=("yosys+nextpnr", "icestorm"),
+)
+
+ICEBREAKER = Board(
+    name="icebreaker",
+    fpga="iCE40UP5k",
+    family="ice40",
+    logic_cells=5_280,
+    bram_bits=30 * 512 * 8,
+    dsp_blocks=8,
+    clock_hz=12_000_000,
+    sram_bytes=128 * 1024,
+    flash_bytes=16 * 1024 * 1024,
+)
+
+ORANGECRAB = Board(
+    name="orangecrab",
+    fpga="ECP5-25F",
+    family="ecp5",
+    logic_cells=24_000,
+    bram_bits=56 * 18 * 1024,
+    dsp_blocks=28,
+    clock_hz=48_000_000,
+    sram_bytes=0,
+    flash_bytes=16 * 1024 * 1024,
+    external_ram_bytes=128 * 1024 * 1024,
+    external_ram_tech=DDR3,
+)
+
+BOARDS = {
+    board.name: board
+    for board in (ARTY_A7_35T, FOMU, ICEBREAKER, ORANGECRAB)
+}
+
+
+def get_board(name):
+    try:
+        return BOARDS[name]
+    except KeyError:
+        raise KeyError(f"unknown board {name!r}; available: {sorted(BOARDS)}") from None

@@ -1,0 +1,80 @@
+"""The place-and-route stand-in: does a design fit a board?
+
+The real flow learns this from nextpnr; here the fitter sums the
+resource reports of every SoC component (CPU, peripherals, CFU) and
+compares against the board inventory, with a routing-overhead margin —
+designs that use every last cell do not route at speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..rtl.synth import ResourceReport
+
+#: Fraction of logic cells usable before routing congestion kills timing.
+UTILIZATION_LIMIT = 0.97
+
+
+class FitError(RuntimeError):
+    """Raised when a design cannot fit the target board."""
+
+
+@dataclass
+class FitResult:
+    board: object
+    usage: ResourceReport
+    ok: bool
+    messages: list = field(default_factory=list)
+
+    @property
+    def cell_utilization(self):
+        return self.usage.logic_cells / self.board.logic_cells
+
+    def summary(self):
+        b, u = self.board, self.usage
+        bram_blocks = u.bram_blocks(self._bram_block_bits())
+        total_blocks = b.bram_bits // self._bram_block_bits()
+        lines = [
+            f"fit on {b.name}: {'OK' if self.ok else 'FAIL'}",
+            f"  logic cells {u.logic_cells:>6} / {b.logic_cells}"
+            f"  ({100 * self.cell_utilization:.1f}%)",
+            f"  DSP blocks  {u.dsps:>6} / {b.dsp_blocks}",
+            f"  BRAM blocks {bram_blocks:>6} / {total_blocks}",
+        ]
+        lines += [f"  ! {m}" for m in self.messages]
+        return "\n".join(lines)
+
+    def _bram_block_bits(self):
+        return 4096 if self.board.family == "ice40" else 36 * 1024
+
+
+def fit(board, *reports):
+    """Check combined resource reports against a board; returns FitResult."""
+    usage = ResourceReport()
+    for report in reports:
+        usage = usage + report
+    messages = []
+    ok = True
+    if usage.logic_cells > UTILIZATION_LIMIT * board.logic_cells:
+        ok = False
+        messages.append(
+            f"logic cells: need {usage.logic_cells}, "
+            f"routable limit {int(UTILIZATION_LIMIT * board.logic_cells)}"
+        )
+    if usage.dsps > board.dsp_blocks:
+        ok = False
+        messages.append(f"DSP blocks: need {usage.dsps}, have {board.dsp_blocks}")
+    if usage.bram_bits > board.bram_bits:
+        ok = False
+        messages.append(
+            f"block RAM: need {usage.bram_bits} bits, have {board.bram_bits}"
+        )
+    return FitResult(board=board, usage=usage, ok=ok, messages=messages)
+
+
+def require_fit(board, *reports):
+    result = fit(board, *reports)
+    if not result.ok:
+        raise FitError(result.summary())
+    return result

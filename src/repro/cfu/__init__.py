@@ -1,0 +1,21 @@
+"""Custom Function Unit abstraction: interface, emulation, RTL, testing."""
+
+from .interface import CfuError, CfuModel, NullCfu, cfu_op, make_cfu_macro
+from .rtl import CfuPorts, CombinationalCfu, RtlCfu, RtlCfuAdapter
+from .testing import GoldenReport, assert_equivalent, random_sequence, run_sequence
+
+__all__ = [
+    "CfuError",
+    "CfuModel",
+    "CfuPorts",
+    "CombinationalCfu",
+    "GoldenReport",
+    "NullCfu",
+    "RtlCfu",
+    "RtlCfuAdapter",
+    "assert_equivalent",
+    "cfu_op",
+    "make_cfu_macro",
+    "random_sequence",
+    "run_sequence",
+]

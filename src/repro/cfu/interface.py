@@ -1,0 +1,93 @@
+"""The Custom Function Unit interface.
+
+A CFU receives two 32-bit operands from the CPU register file plus a
+(funct3, funct7) opcode pair and returns one 32-bit result — the RISC-V
+R-format on the custom-0 opcode (Section II-A/II-D of the paper).
+
+Two in-framework realisations exist:
+
+- :class:`CfuModel` — the *software emulation* the paper describes in
+  Section II-E: a functionally-equivalent Python implementation that can
+  be swapped in for the real CFU.  It also serves as the fast functional
+  unit for whole-model performance runs.
+- :class:`RtlCfu`/:class:`RtlCfuAdapter` (:mod:`repro.cfu.rtl`) — the
+  gateware implementation in the RTL DSL, simulated cycle-accurately.
+
+:func:`cfu_op` mirrors the C macro: it encodes/performs one custom
+instruction against whatever CFU implementation is bound.
+"""
+
+from __future__ import annotations
+
+_MASK32 = 0xFFFFFFFF
+
+
+class CfuError(RuntimeError):
+    pass
+
+
+class CfuModel:
+    """Base class for software CFU emulations.
+
+    Subclasses override :meth:`op` (and usually keep state in instance
+    attributes — CFUs may hold scratchpad buffers, accumulators, and
+    configuration registers).  ``latency`` reports the cycle cost the
+    hardware would take; for pipelined operations ``ii`` (initiation
+    interval) reports the steady-state throughput cost.
+    """
+
+    #: human-readable name used in reports
+    name = "cfu"
+
+    def op(self, funct3, funct7, a, b):
+        raise NotImplementedError
+
+    def latency(self, funct3, funct7):
+        """Cycles from issue to result for this operation."""
+        return 1
+
+    def ii(self, funct3, funct7):
+        """Initiation interval: cycles between back-to-back issues."""
+        return self.latency(funct3, funct7)
+
+    def reset(self):
+        """Return all architectural CFU state to power-on values."""
+
+    # --- machine-facing protocol ---------------------------------------------------
+    def execute(self, funct3, funct7, a, b):
+        result = self.op(funct3 & 0x7, funct7 & 0x7F, a & _MASK32, b & _MASK32)
+        return result & _MASK32, self.latency(funct3, funct7)
+
+    def resources(self):
+        """Resource estimate; overridden by designs with known gateware."""
+        from ..rtl.synth import ResourceReport
+
+        return ResourceReport()
+
+
+class NullCfu(CfuModel):
+    """A CFU that rejects every operation (no CFU attached)."""
+
+    name = "none"
+
+    def op(self, funct3, funct7, a, b):
+        raise CfuError(f"no CFU operation ({funct3}, {funct7})")
+
+
+def cfu_op(cfu, funct3, funct7, a, b):
+    """The software-side equivalent of the ``cfu_op()`` C macro.
+
+    ``funct3``/``funct7`` must be compile-time constants in C; here they
+    are plain ints.  Returns the 32-bit result.
+    """
+    result, _ = cfu.execute(funct3, funct7, a, b)
+    return result
+
+
+def make_cfu_macro(cfu, funct3, funct7):
+    """Bind an opcode pair, mirroring ``#define simd_add(a,b) cfu_op(...)``."""
+    def macro(a, b):
+        return cfu_op(cfu, funct3, funct7, a, b)
+
+    macro.__name__ = f"cfu_{funct7}_{funct3}"
+    return macro

@@ -1,0 +1,137 @@
+"""RTL-side CFU: the standard port bundle and a cycle-accurate adapter.
+
+The port bundle follows the CFU Playground / VexRiscv CFU bus: a
+valid/ready command channel carrying (funct3, funct7, in0, in1) and a
+valid/ready response channel carrying the 32-bit output.
+"""
+
+from __future__ import annotations
+
+from ..rtl import Module, Signal, Simulator, estimate
+from .interface import CfuError
+
+
+class CfuPorts:
+    """The CPU<->CFU handshake signals."""
+
+    def __init__(self):
+        self.cmd_valid = Signal(1, name="cmd_valid")
+        self.cmd_ready = Signal(1, name="cmd_ready")
+        self.cmd_funct3 = Signal(3, name="cmd_funct3")
+        self.cmd_funct7 = Signal(7, name="cmd_funct7")
+        self.cmd_in0 = Signal(32, name="cmd_in0")
+        self.cmd_in1 = Signal(32, name="cmd_in1")
+        self.rsp_valid = Signal(1, name="rsp_valid")
+        self.rsp_ready = Signal(1, name="rsp_ready")
+        self.rsp_out = Signal(32, name="rsp_out")
+
+    def all(self):
+        return [
+            self.cmd_valid, self.cmd_ready, self.cmd_funct3, self.cmd_funct7,
+            self.cmd_in0, self.cmd_in1, self.rsp_valid, self.rsp_ready,
+            self.rsp_out,
+        ]
+
+
+class RtlCfu:
+    """Base class for gateware CFUs written in the RTL DSL.
+
+    Subclasses implement :meth:`elaborate`, wiring their logic between
+    ``self.ports`` inside ``self.module``.
+    """
+
+    name = "rtl-cfu"
+
+    def __init__(self):
+        self.ports = CfuPorts()
+        self.module = Module(self.name)
+        self.elaborate(self.module, self.ports)
+
+    def elaborate(self, m, ports):
+        raise NotImplementedError
+
+    def resources(self):
+        return estimate(self.module)
+
+    def verilog(self):
+        from ..rtl import emit_verilog
+
+        return emit_verilog(self.module, ports=self.ports.all())
+
+
+class RtlCfuAdapter:
+    """Drives an :class:`RtlCfu` through its handshake, cycle-accurately.
+
+    Presents the same ``execute`` protocol as :class:`CfuModel`, so the
+    ISA machine (or the golden-test harness) can run against real
+    gateware.  Reported latency is the measured number of clock cycles
+    from command acceptance to response.
+    """
+
+    def __init__(self, rtl_cfu, timeout=4096):
+        self.rtl = rtl_cfu
+        self.sim = Simulator(rtl_cfu.module)
+        self.ports = rtl_cfu.ports
+        self.timeout = timeout
+        self.name = f"{rtl_cfu.name} (rtl)"
+
+    def reset(self):
+        self.sim = Simulator(self.rtl.module)
+
+    def execute(self, funct3, funct7, a, b):
+        sim, ports = self.sim, self.ports
+        sim.poke(ports.cmd_valid, 1)
+        sim.poke(ports.cmd_funct3, funct3 & 0x7)
+        sim.poke(ports.cmd_funct7, funct7 & 0x7F)
+        sim.poke(ports.cmd_in0, a & 0xFFFFFFFF)
+        sim.poke(ports.cmd_in1, b & 0xFFFFFFFF)
+        sim.poke(ports.rsp_ready, 1)
+        sim.settle()
+        # Wait for the CFU to accept the command.
+        waited = 0
+        while not sim.peek(ports.cmd_ready):
+            sim.tick()
+            waited += 1
+            if waited > self.timeout:
+                raise CfuError(f"{self.name}: command never accepted")
+        # Cycle 1: command presented and accepted.  A combinational CFU
+        # answers within this cycle; sequential CFUs answer after one or
+        # more clock edges.
+        cycles = 1
+        if sim.peek(ports.rsp_valid):
+            result = sim.peek(ports.rsp_out)
+            sim.tick()  # consume the response, retire the instruction
+            sim.poke(ports.cmd_valid, 0)
+            sim.settle()
+            return result, cycles
+        sim.tick()  # edge on which the command is latched
+        sim.poke(ports.cmd_valid, 0)
+        sim.settle()
+        while not sim.peek(ports.rsp_valid):
+            sim.tick()
+            cycles += 1
+            if cycles > self.timeout:
+                raise CfuError(f"{self.name}: no response after {cycles} cycles")
+        cycles += 1
+        result = sim.peek(ports.rsp_out)
+        sim.tick()  # response consumed
+        return result, cycles
+
+    def resources(self):
+        return self.rtl.resources()
+
+
+class CombinationalCfu(RtlCfu):
+    """Helper base: single-cycle CFUs that compute a pure function.
+
+    Subclasses implement :meth:`datapath(m, ports) -> Value` returning
+    the 32-bit result expression; handshake glue is provided here.
+    """
+
+    def elaborate(self, m, ports):
+        m.d.comb += ports.cmd_ready.eq(1)
+        m.d.comb += ports.rsp_valid.eq(ports.cmd_valid)
+        m.d.comb += ports.rsp_out.eq(self.datapath(m, ports))
+
+    def datapath(self, m, ports):
+        raise NotImplementedError

@@ -1,0 +1,182 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+The `make`-target surface of CFU Playground, for this reproduction:
+
+- ``projects``            — list the registered projects;
+- ``build PROJECT``       — build a project (fit, link, estimate, emit
+  CFU Verilog + serialized model into --out);
+- ``profile PROJECT``     — per-operator cycle profile;
+- ``golden PROJECT``      — run the full-inference golden test;
+- ``ladder fig4|fig6``    — replay an optimization ladder;
+- ``dse``                 — run the Fig. 7 design-space exploration;
+- ``menu PROJECT``        — drive the firmware menu (one selection).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_projects(args):
+    from .core.project import list_projects
+
+    for name, description in list_projects().items():
+        print(f"{name:18s} {description}")
+    return 0
+
+
+def _cmd_build(args):
+    from .core.project import load_project
+
+    project = load_project(args.project)
+    artifacts = project.build(output_dir=args.out)
+    print(artifacts.fit.summary())
+    print(artifacts.layout.summary())
+    print(artifacts.estimate.summary(split_conv_1x1=True))
+    if artifacts.verilog_path:
+        print(f"CFU Verilog: {artifacts.verilog_path}")
+    if artifacts.model_path:
+        print(f"model container: {artifacts.model_path}")
+    return 0 if artifacts.ok else 1
+
+
+def _cmd_profile(args):
+    from .core.project import load_project
+
+    estimate = load_project(args.project).profile()
+    print(estimate.summary(split_conv_1x1=True))
+    if args.per_op:
+        print(estimate.per_op_table())
+    return 0
+
+
+def _cmd_golden(args):
+    from .core.project import load_project
+
+    project = load_project(args.project)
+    project.golden_test()
+    print(f"{args.project}: golden test PASSED")
+    return 0
+
+
+def _cmd_ladder(args):
+    from .core.ladders import (
+        kws_initial_state,
+        kws_ladder,
+        mnv2_1x1_filter,
+        mnv2_initial_state,
+        mnv2_ladder,
+        run_ladder,
+    )
+
+    if args.figure == "fig4":
+        state = mnv2_initial_state()
+        results = run_ladder(mnv2_ladder(), state,
+                             op_filter=mnv2_1x1_filter(state.model))
+    else:
+        results = run_ladder(kws_ladder(), kws_initial_state())
+    for result in results:
+        print(result.row())
+    return 0
+
+
+def _cmd_dse(args):
+    from .dse import run_fig7, total_space_size
+
+    print(f"design space: {total_space_size():,} points")
+    result = run_fig7(trials_per_family=args.trials, seed=args.seed)
+    print(result.summary())
+    return 0
+
+
+def _cmd_report(args):
+    from .core.reporting import generate_report
+
+    text = generate_report(path=args.out, include_dse=args.dse,
+                           dse_trials=args.trials)
+    if args.out:
+        print(f"report written to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_menu(args):
+    from .core.menu import build_firmware_menu
+    from .core.project import load_project
+
+    project = load_project(args.project)
+    root, console = build_firmware_menu(project.playground)
+    root.render()
+    node = root
+    for key in args.select or []:
+        result = node.select(key)
+        from .core.menu import Menu
+
+        if isinstance(result, Menu):
+            node = result
+    sys.stdout.write(console.text())
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CFU Playground reproduction: full-stack TinyML "
+                    "acceleration on (simulated) FPGAs",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("projects", help="list registered projects") \
+        .set_defaults(func=_cmd_projects)
+
+    build = sub.add_parser("build", help="build a project")
+    build.add_argument("project")
+    build.add_argument("--out", default=None,
+                       help="write artifacts (Verilog, model, report) here")
+    build.set_defaults(func=_cmd_build)
+
+    profile = sub.add_parser("profile", help="profile a project")
+    profile.add_argument("project")
+    profile.add_argument("--per-op", action="store_true")
+    profile.set_defaults(func=_cmd_profile)
+
+    golden = sub.add_parser("golden", help="run a project's golden test")
+    golden.add_argument("project")
+    golden.set_defaults(func=_cmd_golden)
+
+    ladder = sub.add_parser("ladder", help="replay an optimization ladder")
+    ladder.add_argument("figure", choices=("fig4", "fig6"))
+    ladder.set_defaults(func=_cmd_ladder)
+
+    dse = sub.add_parser("dse", help="run the Fig. 7 DSE")
+    dse.add_argument("--trials", type=int, default=60,
+                     help="trials per CFU family")
+    dse.add_argument("--seed", type=int, default=0)
+    dse.set_defaults(func=_cmd_dse)
+
+    rep = sub.add_parser("report",
+                         help="generate the full experiment report")
+    rep.add_argument("--out", default=None)
+    rep.add_argument("--dse", action="store_true",
+                     help="include a Fig. 7 DSE pass")
+    rep.add_argument("--trials", type=int, default=45)
+    rep.set_defaults(func=_cmd_report)
+
+    menu = sub.add_parser("menu", help="drive the firmware menu")
+    menu.add_argument("project")
+    menu.add_argument("--select", nargs="*",
+                      help="menu keys to press in order, e.g. 1 g")
+    menu.set_defaults(func=_cmd_menu)
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

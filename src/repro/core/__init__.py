@@ -1,0 +1,35 @@
+"""Core API: the Playground (deploy-profile-optimize), ladders, golden tests."""
+
+from .golden import (
+    golden_checksum,
+    golden_input,
+    run_golden_inference,
+    variant_interpreter,
+    variant_registry,
+)
+from .ladders import (
+    FOMU_BASELINE_CPU,
+    DeploymentState,
+    LadderResult,
+    LadderStep,
+    kws_initial_state,
+    kws_ladder,
+    mnv2_1x1_filter,
+    mnv2_initial_state,
+    mnv2_ladder,
+    run_ladder,
+)
+from .menu import Menu, UartConsole, build_firmware_menu
+from .playground import BuildReport, Playground, PlaygroundError
+from .reporting import generate_report
+from .project import PROJECTS, BuildArtifacts, Project, ProjectSpec, list_projects, load_project
+
+__all__ = [
+    "BuildArtifacts", "BuildReport", "Menu", "PROJECTS", "Project",
+    "ProjectSpec", "UartConsole", "build_firmware_menu", "list_projects",
+    "load_project", "generate_report", "DeploymentState", "FOMU_BASELINE_CPU", "LadderResult",
+    "LadderStep", "Playground", "PlaygroundError", "golden_checksum",
+    "golden_input", "kws_initial_state", "kws_ladder", "mnv2_1x1_filter",
+    "mnv2_initial_state", "mnv2_ladder", "run_golden_inference",
+    "run_ladder", "variant_interpreter", "variant_registry",
+]

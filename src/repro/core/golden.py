@@ -1,0 +1,64 @@
+"""Model-level golden testing: optimized kernels vs reference kernels.
+
+Section II-E: "full-inference golden tests, with set inputs and expected
+outputs for each provided model."  Because every optimized variant's
+``compute`` must be bit-exact with the reference kernel, a golden run
+compares entire inference outputs element for element.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tflm.interpreter import Interpreter, KernelRegistry, reference_registry
+
+
+def variant_registry(variants, model):
+    """A kernel registry that dispatches each op to its selected variant."""
+    reference = reference_registry()
+
+    def make_kernel(opcode):
+        def kernel(op, inputs, mdl):
+            variant = variants.select(op, mdl)
+            if variant is not None:
+                return variant.compute(op, inputs, mdl)
+            return reference.lookup(opcode)(op, inputs, mdl)
+        return kernel
+
+    return KernelRegistry({
+        opcode: make_kernel(opcode)
+        for opcode in {op.opcode for op in model.operators}
+    })
+
+
+def variant_interpreter(model, variants):
+    return Interpreter(model, registry=variant_registry(variants, model))
+
+
+def golden_input(model, seed=0):
+    """The deterministic 'set input' for a model's golden test."""
+    rng = np.random.default_rng(seed ^ 0xC0FFEE)
+    tensor = model.input
+    return rng.integers(-128, 128, size=tensor.shape).astype(np.int8)
+
+
+def run_golden_inference(model, variants, input_array=None, seed=0):
+    """Compare optimized-vs-reference outputs; raises on mismatch."""
+    if input_array is None:
+        input_array = golden_input(model, seed)
+    expected = Interpreter(model).invoke(input_array)
+    actual = variant_interpreter(model, variants).invoke(input_array)
+    if not np.array_equal(expected, actual):
+        bad = int(np.sum(expected != actual))
+        raise AssertionError(
+            f"golden mismatch on {model.name}: {bad} of {expected.size} "
+            f"output elements differ"
+        )
+    return expected
+
+
+def golden_checksum(model, seed=0):
+    """A stable scalar fingerprint of a model's golden output."""
+    output = Interpreter(model).invoke(golden_input(model, seed))
+    return int(np.int64(7919) * np.sum(output.astype(np.int64) ** 2)
+               % np.int64(2**31 - 1))

@@ -1,0 +1,144 @@
+"""The menu-driven firmware, as a host-side model.
+
+Section II-E: "The menu-driven software contains kernel-level unit tests
+from the TFLite Micro library.  It also contains full-inference golden
+tests, with set inputs and expected outputs for each provided model."
+Real CFU Playground presents this menu over the board's TTY; here the
+same menu runs against the deployment model, writing its output through
+the SoC's UART peripheral so tests and demos observe the authentic
+interface.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .golden import golden_input, run_golden_inference
+
+
+class Menu:
+    """A nested menu tree driven by single-character selections."""
+
+    def __init__(self, title, console):
+        self.title = title
+        self.console = console
+        self.entries = {}  # key -> (label, callable or Menu)
+
+    def add(self, key, label, action):
+        if key in self.entries:
+            raise ValueError(f"duplicate menu key {key!r}")
+        self.entries[key] = (label, action)
+        return self
+
+    def render(self):
+        self.console.write(f"\n=== {self.title} ===\n")
+        for key, (label, _) in sorted(self.entries.items()):
+            self.console.write(f" {key}: {label}\n")
+        self.console.write("> ")
+
+    def select(self, key):
+        if key not in self.entries:
+            self.console.write(f"unknown selection {key!r}\n")
+            return None
+        label, action = self.entries[key]
+        self.console.write(f"{label}\n")
+        if isinstance(action, Menu):
+            action.render()
+            return action
+        return action()
+
+
+class UartConsole:
+    """Writes through a SoC UART peripheral (so output is observable on
+    the 'board' side) while also collecting a transcript."""
+
+    def __init__(self, uart=None):
+        self.uart = uart
+        self.transcript = []
+
+    def write(self, text):
+        self.transcript.append(text)
+        if self.uart is not None:
+            for byte in text.encode("ascii", errors="replace"):
+                self.uart._tx(byte)
+
+    def text(self):
+        return "".join(self.transcript)
+
+
+def build_firmware_menu(playground, console=None):
+    """The stock CFU Playground menu for a deployment."""
+    if console is None:
+        try:
+            uart = playground.soc.peripheral("uart")
+        except KeyError:
+            uart = None
+        console = UartConsole(uart)
+    root = Menu(f"CFU Playground: {playground.model.name}", console)
+    tests = Menu("TFLM kernel unit tests", console)
+    root.add("1", "TFLite Micro tests", tests)
+
+    def golden_test():
+        try:
+            run_golden_inference(playground.model, playground.variants)
+        except AssertionError as error:
+            console.write(f"golden test FAILED: {error}\n")
+            return False
+        console.write("golden test OK\n")
+        return True
+
+    def run_model():
+        x = golden_input(playground.model)
+        output = playground.run_inference(x)
+        top = int(np.argmax(output))
+        console.write(f"inference done, output shape {output.shape}, "
+                      f"argmax {top}\n")
+        return output
+
+    def profile():
+        estimate = playground.profile()
+        console.write(estimate.summary(split_conv_1x1=True) + "\n")
+        return estimate
+
+    def project_menu():
+        fit = playground.fit()
+        console.write(fit.summary() + "\n")
+        return fit
+
+    tests.add("g", "full-inference golden test", golden_test)
+    tests.add("k", "kernel-level unit tests", lambda: _kernel_tests(
+        playground, console))
+    root.add("2", "run model on golden input", run_model)
+    root.add("3", "profile one inference", profile)
+    root.add("4", "project resource report", project_menu)
+    return root, console
+
+
+def _kernel_tests(playground, console):
+    """Kernel-level checks: each operator, optimized vs reference."""
+    from ..tflm.interpreter import Interpreter, reference_registry
+    from .golden import variant_registry
+
+    model = playground.model
+    x = golden_input(model)
+    reference_outputs = {}
+
+    def capture(op, inputs, output):
+        reference_outputs[op.name] = output
+
+    Interpreter(model, reference_registry(),
+                listeners=[capture]).invoke(x)
+    registry = variant_registry(playground.variants, model)
+    failures = 0
+    checked = 0
+
+    def compare(op, inputs, output):
+        nonlocal failures, checked
+        checked += 1
+        if not np.array_equal(output, reference_outputs[op.name]):
+            failures += 1
+            console.write(f"  FAIL {op.name}\n")
+
+    Interpreter(model, registry, listeners=[compare]).invoke(x)
+    console.write(f"kernel tests: {checked - failures}/{checked} OK\n")
+    return failures == 0

@@ -1,0 +1,232 @@
+"""Two-pass RV32IM assembler.
+
+Supports the full RV32IM base set, the CFU custom-0 instruction, labels,
+``.word``/``.byte``/``.zero`` data directives, and the common pseudo
+instructions (``li``, ``la``, ``mv``, ``nop``, ``j``, ``ret``, ``call``,
+``not``, ``seqz``, ``snez``, ``beqz``, ``bnez``).
+
+This is the stand-in for the stock RISC-V GCC/binutils toolchain: the
+paper's point is that no toolchain modification is needed for CFU
+instructions, only a macro that emits the encoded word — which is what
+:func:`repro.cpu.isa.encode_cfu` provides here.
+"""
+
+from __future__ import annotations
+
+import re
+
+from . import isa
+from .isa import register_number as reg
+
+_I_ARITH = {"addi": 0, "slti": 2, "sltiu": 3, "xori": 4, "ori": 6, "andi": 7}
+_R_OPS = {
+    "add": (0, 0x00), "sub": (0, 0x20), "sll": (1, 0x00), "slt": (2, 0x00),
+    "sltu": (3, 0x00), "xor": (4, 0x00), "srl": (5, 0x00), "sra": (5, 0x20),
+    "or": (6, 0x00), "and": (7, 0x00),
+    "mul": (0, 0x01), "mulh": (1, 0x01), "mulhsu": (2, 0x01),
+    "mulhu": (3, 0x01), "div": (4, 0x01), "divu": (5, 0x01),
+    "rem": (6, 0x01), "remu": (7, 0x01),
+}
+_LOADS = {"lb": 0, "lh": 1, "lw": 2, "lbu": 4, "lhu": 5}
+_STORES = {"sb": 0, "sh": 1, "sw": 2}
+_BRANCHES = {"beq": 0, "bne": 1, "blt": 4, "bge": 5, "bltu": 6, "bgeu": 7}
+
+_MEM_RE = re.compile(r"^(-?\w+)\s*\(\s*(\w+)\s*\)$")
+
+
+class AssemblerError(ValueError):
+    pass
+
+
+def assemble(source, origin=0):
+    """Assemble source text; returns ``(code_bytes, symbols)``."""
+    items = _parse(source)
+    symbols = _layout(items, origin)
+    words = bytearray()
+    for item in items:
+        kind = item[0]
+        if kind == "label":
+            continue
+        if kind == "word":
+            value = _resolve(item[1], symbols)
+            words += (value & 0xFFFFFFFF).to_bytes(4, "little")
+        elif kind == "byte":
+            words += bytes([_resolve(item[1], symbols) & 0xFF])
+        elif kind == "zero":
+            words += bytes(item[1])
+        elif kind == "instr":
+            addr = item[3]
+            for encoded in _encode(item[1], item[2], addr, symbols):
+                words += encoded.to_bytes(4, "little")
+    return bytes(words), symbols
+
+
+def _parse(source):
+    items = []
+    for raw_line in source.splitlines():
+        line = raw_line.split("#")[0].split("//")[0].strip()
+        if not line:
+            continue
+        while ":" in line:
+            label, _, rest = line.partition(":")
+            if not re.fullmatch(r"[A-Za-z_.$][\w.$]*", label.strip()):
+                break
+            items.append(("label", label.strip()))
+            line = rest.strip()
+        if not line:
+            continue
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        operands = [p.strip() for p in parts[1].split(",")] if len(parts) > 1 else []
+        if mnemonic == ".word":
+            for operand in operands:
+                items.append(("word", operand))
+        elif mnemonic == ".byte":
+            for operand in operands:
+                items.append(("byte", operand))
+        elif mnemonic == ".zero":
+            items.append(("zero", int(operands[0], 0)))
+        elif mnemonic.startswith("."):
+            continue  # ignore other directives (.text, .align 4, ...)
+        else:
+            items.append(["instr", mnemonic, operands, None])
+    return items
+
+
+def _instr_words(mnemonic):
+    return 2 if mnemonic in ("li", "la", "call") else 1
+
+
+def _layout(items, origin):
+    symbols = {}
+    addr = origin
+    for item in items:
+        kind = item[0]
+        if kind == "label":
+            symbols[item[1]] = addr
+        elif kind == "word":
+            addr += 4
+        elif kind == "byte":
+            addr += 1
+        elif kind == "zero":
+            addr += item[1]
+        else:
+            item[3] = addr
+            addr += 4 * _instr_words(item[1])
+    return symbols
+
+
+def _resolve(token, symbols):
+    token = token.strip()
+    if token in symbols:
+        return symbols[token]
+    try:
+        return int(token, 0)
+    except ValueError as exc:
+        raise AssemblerError(f"unknown symbol or literal {token!r}") from exc
+
+
+def _mem_operand(token, symbols):
+    match = _MEM_RE.match(token.strip())
+    if not match:
+        raise AssemblerError(f"expected offset(reg), got {token!r}")
+    return _resolve(match.group(1), symbols), reg(match.group(2))
+
+
+def _encode(mnemonic, ops, addr, symbols):
+    enc = isa
+    if mnemonic in _R_OPS:
+        f3, f7 = _R_OPS[mnemonic]
+        return [enc.encode_r(isa.OPCODE_OP, reg(ops[0]), f3, reg(ops[1]), reg(ops[2]), f7)]
+    if mnemonic in _I_ARITH:
+        return [enc.encode_i(isa.OPCODE_OP_IMM, reg(ops[0]), _I_ARITH[mnemonic],
+                             reg(ops[1]), _resolve(ops[2], symbols))]
+    if mnemonic in ("slli", "srli", "srai"):
+        shamt = _resolve(ops[2], symbols) & 0x1F
+        f3 = 1 if mnemonic == "slli" else 5
+        imm = shamt | (0x400 if mnemonic == "srai" else 0)
+        return [enc.encode_i(isa.OPCODE_OP_IMM, reg(ops[0]), f3, reg(ops[1]), imm)]
+    if mnemonic in _LOADS:
+        offset, base = _mem_operand(ops[1], symbols)
+        return [enc.encode_i(isa.OPCODE_LOAD, reg(ops[0]), _LOADS[mnemonic], base, offset)]
+    if mnemonic in _STORES:
+        offset, base = _mem_operand(ops[1], symbols)
+        return [enc.encode_s(isa.OPCODE_STORE, _STORES[mnemonic], base, reg(ops[0]), offset)]
+    if mnemonic in _BRANCHES:
+        target = _resolve(ops[2], symbols)
+        return [enc.encode_b(isa.OPCODE_BRANCH, _BRANCHES[mnemonic],
+                             reg(ops[0]), reg(ops[1]), target - addr)]
+    if mnemonic in ("beqz", "bnez"):
+        f3 = 0 if mnemonic == "beqz" else 1
+        target = _resolve(ops[1], symbols)
+        return [enc.encode_b(isa.OPCODE_BRANCH, f3, reg(ops[0]), 0, target - addr)]
+    if mnemonic == "lui":
+        return [enc.encode_u(isa.OPCODE_LUI, reg(ops[0]), _resolve(ops[1], symbols))]
+    if mnemonic == "auipc":
+        return [enc.encode_u(isa.OPCODE_AUIPC, reg(ops[0]), _resolve(ops[1], symbols))]
+    if mnemonic == "jal":
+        if len(ops) == 1:
+            ops = ["ra", ops[0]]
+        target = _resolve(ops[1], symbols)
+        return [enc.encode_j(isa.OPCODE_JAL, reg(ops[0]), target - addr)]
+    if mnemonic == "jalr":
+        if len(ops) == 1:
+            return [enc.encode_i(isa.OPCODE_JALR, 1, 0, reg(ops[0]), 0)]
+        offset, base = _mem_operand(ops[1], symbols)
+        return [enc.encode_i(isa.OPCODE_JALR, reg(ops[0]), 0, base, offset)]
+    if mnemonic == "j":
+        target = _resolve(ops[0], symbols)
+        return [enc.encode_j(isa.OPCODE_JAL, 0, target - addr)]
+    if mnemonic == "ret":
+        return [enc.encode_i(isa.OPCODE_JALR, 0, 0, 1, 0)]
+    if mnemonic == "call":
+        target = _resolve(ops[0], symbols)
+        offset = target - addr
+        hi, lo = _split_hi_lo(offset)
+        return [
+            enc.encode_u(isa.OPCODE_AUIPC, 1, hi),
+            enc.encode_i(isa.OPCODE_JALR, 1, 0, 1, lo),
+        ]
+    if mnemonic == "li":
+        value = _resolve(ops[1], symbols)
+        hi, lo = _split_hi_lo(value)
+        return [
+            enc.encode_u(isa.OPCODE_LUI, reg(ops[0]), hi),
+            enc.encode_i(isa.OPCODE_OP_IMM, reg(ops[0]), 0, reg(ops[0]), lo),
+        ]
+    if mnemonic == "la":
+        return _encode("li", ops, addr, symbols)
+    if mnemonic == "mv":
+        return [enc.encode_i(isa.OPCODE_OP_IMM, reg(ops[0]), 0, reg(ops[1]), 0)]
+    if mnemonic == "not":
+        return [enc.encode_i(isa.OPCODE_OP_IMM, reg(ops[0]), 4, reg(ops[1]), -1)]
+    if mnemonic == "seqz":
+        return [enc.encode_i(isa.OPCODE_OP_IMM, reg(ops[0]), 3, reg(ops[1]), 1)]
+    if mnemonic == "snez":
+        return [enc.encode_r(isa.OPCODE_OP, reg(ops[0]), 3, 0, reg(ops[1]), 0)]
+    if mnemonic == "nop":
+        return [enc.encode_i(isa.OPCODE_OP_IMM, 0, 0, 0, 0)]
+    if mnemonic == "ecall":
+        return [0x00000073]
+    if mnemonic == "ebreak":
+        return [0x00100073]
+    if mnemonic == "fence":
+        return [0x0000000F]
+    if mnemonic == "rdcycle":
+        return [enc.encode_i(isa.OPCODE_SYSTEM, reg(ops[0]), 2, 0, -1024)]  # csrrs rd, cycle, x0
+    if mnemonic == "rdinstret":
+        return [enc.encode_i(isa.OPCODE_SYSTEM, reg(ops[0]), 2, 0, -1022)]
+    if mnemonic == "cfu":
+        funct7 = _resolve(ops[0], symbols)
+        funct3 = _resolve(ops[1], symbols)
+        return [enc.encode_cfu(funct7, funct3, reg(ops[2]), reg(ops[3]), reg(ops[4]))]
+    raise AssemblerError(f"unknown mnemonic {mnemonic!r}")
+
+
+def _split_hi_lo(value):
+    value &= 0xFFFFFFFF
+    lo = value & 0xFFF
+    if lo >= 0x800:
+        lo -= 0x1000
+    hi = ((value - lo) >> 12) & 0xFFFFF
+    return hi, lo

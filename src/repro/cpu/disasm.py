@@ -1,0 +1,67 @@
+"""Tiny RV32IM disassembler (debugging aid and test oracle)."""
+
+from __future__ import annotations
+
+from . import isa
+
+_REG = [f"x{i}" for i in range(32)]
+
+_OP_IMM = {0: "addi", 2: "slti", 3: "sltiu", 4: "xori", 6: "ori", 7: "andi"}
+_OP = {
+    (0, 0x00): "add", (0, 0x20): "sub", (1, 0x00): "sll",
+    (2, 0x00): "slt", (3, 0x00): "sltu", (4, 0x00): "xor",
+    (5, 0x00): "srl", (5, 0x20): "sra", (6, 0x00): "or", (7, 0x00): "and",
+    (0, 0x01): "mul", (1, 0x01): "mulh", (2, 0x01): "mulhsu",
+    (3, 0x01): "mulhu", (4, 0x01): "div", (5, 0x01): "divu",
+    (6, 0x01): "rem", (7, 0x01): "remu",
+}
+_LOAD = {0: "lb", 1: "lh", 2: "lw", 4: "lbu", 5: "lhu"}
+_STORE = {0: "sb", 1: "sh", 2: "sw"}
+_BRANCH = {0: "beq", 1: "bne", 4: "blt", 5: "bge", 6: "bltu", 7: "bgeu"}
+
+
+def disassemble(word):
+    """Render one instruction word as assembly text."""
+    ins = isa.decode(word)
+    op = ins.opcode
+    rd, rs1, rs2 = _REG[ins.rd], _REG[ins.rs1], _REG[ins.rs2]
+    if op == isa.OPCODE_LUI:
+        return f"lui {rd}, {ins.imm >> 12 & 0xFFFFF}"
+    if op == isa.OPCODE_AUIPC:
+        return f"auipc {rd}, {ins.imm >> 12 & 0xFFFFF}"
+    if op == isa.OPCODE_JAL:
+        return f"jal {rd}, {ins.imm}"
+    if op == isa.OPCODE_JALR:
+        return f"jalr {rd}, {ins.imm}({rs1})"
+    if op == isa.OPCODE_BRANCH:
+        name = _BRANCH.get(ins.funct3, "b?")
+        return f"{name} {rs1}, {rs2}, {ins.imm}"
+    if op == isa.OPCODE_LOAD:
+        name = _LOAD.get(ins.funct3, "l?")
+        return f"{name} {rd}, {ins.imm}({rs1})"
+    if op == isa.OPCODE_STORE:
+        name = _STORE.get(ins.funct3, "s?")
+        return f"{name} {rs2}, {ins.imm}({rs1})"
+    if op == isa.OPCODE_OP_IMM:
+        if ins.funct3 == 1:
+            return f"slli {rd}, {rs1}, {ins.imm & 0x1F}"
+        if ins.funct3 == 5:
+            name = "srai" if ins.funct7 & 0x20 else "srli"
+            return f"{name} {rd}, {rs1}, {ins.imm & 0x1F}"
+        name = _OP_IMM.get(ins.funct3, "?i")
+        return f"{name} {rd}, {rs1}, {ins.imm}"
+    if op == isa.OPCODE_OP:
+        name = _OP.get((ins.funct3, ins.funct7), "?")
+        return f"{name} {rd}, {rs1}, {rs2}"
+    if op == isa.OPCODE_CUSTOM0:
+        # Assembler-compatible form: cfu funct7, funct3, rd, rs1, rs2
+        return f"cfu {ins.funct7}, {ins.funct3}, {rd}, {rs1}, {rs2}"
+    if op == isa.OPCODE_SYSTEM:
+        if ins.raw == 0x00000073:
+            return "ecall"
+        if ins.raw == 0x00100073:
+            return "ebreak"
+        return f"csr[{ins.imm & 0xFFF}] {rd}, {rs1}"
+    if op == isa.OPCODE_MISC_MEM:
+        return "fence"
+    return f".word 0x{word:08x}"

@@ -1,0 +1,185 @@
+"""RV32IM instruction set: encoding, decoding, and the CFU custom opcode.
+
+The CFU instruction follows the RISC-V R-format on the *custom-0* major
+opcode (0b0001011), exactly as CFU Playground encodes it: ``funct7`` and
+``funct3`` select the CFU operation, ``rs1``/``rs2`` carry the operands,
+``rd`` receives the 32-bit result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+OPCODE_LUI = 0b0110111
+OPCODE_AUIPC = 0b0010111
+OPCODE_JAL = 0b1101111
+OPCODE_JALR = 0b1100111
+OPCODE_BRANCH = 0b1100011
+OPCODE_LOAD = 0b0000011
+OPCODE_STORE = 0b0100011
+OPCODE_OP_IMM = 0b0010011
+OPCODE_OP = 0b0110011
+OPCODE_MISC_MEM = 0b0001111
+OPCODE_SYSTEM = 0b1110011
+OPCODE_CUSTOM0 = 0b0001011  # CFU instructions live here
+
+ABI_NAMES = {
+    "zero": 0, "ra": 1, "sp": 2, "gp": 3, "tp": 4,
+    "t0": 5, "t1": 6, "t2": 7,
+    "s0": 8, "fp": 8, "s1": 9,
+    "a0": 10, "a1": 11, "a2": 12, "a3": 13,
+    "a4": 14, "a5": 15, "a6": 16, "a7": 17,
+    "s2": 18, "s3": 19, "s4": 20, "s5": 21, "s6": 22, "s7": 23,
+    "s8": 24, "s9": 25, "s10": 26, "s11": 27,
+    "t3": 28, "t4": 29, "t5": 30, "t6": 31,
+}
+
+
+def register_number(name):
+    """Parse a register name (``x7``, ``a0``, ``sp``...) to its index."""
+    name = name.strip().lower()
+    if name in ABI_NAMES:
+        return ABI_NAMES[name]
+    if name.startswith("x"):
+        num = int(name[1:])
+        if 0 <= num < 32:
+            return num
+    raise ValueError(f"unknown register {name!r}")
+
+
+def _check_range(value, bits, signed, what):
+    if signed:
+        low, high = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    else:
+        low, high = 0, (1 << bits) - 1
+    if not low <= value <= high:
+        raise ValueError(f"{what} {value} out of range [{low}, {high}]")
+
+
+# --- encoders -------------------------------------------------------------------
+
+def encode_r(opcode, rd, funct3, rs1, rs2, funct7):
+    return (
+        (funct7 & 0x7F) << 25 | (rs2 & 0x1F) << 20 | (rs1 & 0x1F) << 15
+        | (funct3 & 0x7) << 12 | (rd & 0x1F) << 7 | (opcode & 0x7F)
+    )
+
+
+def encode_i(opcode, rd, funct3, rs1, imm):
+    _check_range(imm, 12, True, "I-immediate")
+    return (
+        (imm & 0xFFF) << 20 | (rs1 & 0x1F) << 15 | (funct3 & 0x7) << 12
+        | (rd & 0x1F) << 7 | (opcode & 0x7F)
+    )
+
+
+def encode_s(opcode, funct3, rs1, rs2, imm):
+    _check_range(imm, 12, True, "S-immediate")
+    imm &= 0xFFF
+    return (
+        (imm >> 5) << 25 | (rs2 & 0x1F) << 20 | (rs1 & 0x1F) << 15
+        | (funct3 & 0x7) << 12 | (imm & 0x1F) << 7 | (opcode & 0x7F)
+    )
+
+
+def encode_b(opcode, funct3, rs1, rs2, imm):
+    _check_range(imm, 13, True, "B-immediate")
+    if imm % 2:
+        raise ValueError("branch offset must be even")
+    imm &= 0x1FFF
+    return (
+        ((imm >> 12) & 1) << 31 | ((imm >> 5) & 0x3F) << 25
+        | (rs2 & 0x1F) << 20 | (rs1 & 0x1F) << 15 | (funct3 & 0x7) << 12
+        | ((imm >> 1) & 0xF) << 8 | ((imm >> 11) & 1) << 7 | (opcode & 0x7F)
+    )
+
+
+def encode_u(opcode, rd, imm):
+    return (imm & 0xFFFFF) << 12 | (rd & 0x1F) << 7 | (opcode & 0x7F)
+
+
+def encode_j(opcode, rd, imm):
+    _check_range(imm, 21, True, "J-immediate")
+    if imm % 2:
+        raise ValueError("jump offset must be even")
+    imm &= 0x1FFFFF
+    return (
+        ((imm >> 20) & 1) << 31 | ((imm >> 1) & 0x3FF) << 21
+        | ((imm >> 11) & 1) << 20 | ((imm >> 12) & 0xFF) << 12
+        | (rd & 0x1F) << 7 | (opcode & 0x7F)
+    )
+
+
+def encode_cfu(funct7, funct3, rd, rs1, rs2):
+    """Encode a CFU custom instruction — the ``cfu_op`` macro's output."""
+    return encode_r(OPCODE_CUSTOM0, rd, funct3, rs1, rs2, funct7)
+
+
+# --- decoding -------------------------------------------------------------------
+
+def _sext(value, bits):
+    if value & (1 << (bits - 1)):
+        return value - (1 << bits)
+    return value
+
+
+@dataclass
+class Instruction:
+    """A decoded instruction with all fields extracted."""
+
+    raw: int
+    opcode: int
+    rd: int
+    rs1: int
+    rs2: int
+    funct3: int
+    funct7: int
+    imm: int  # sign-extended, format-appropriate
+
+    def __str__(self):
+        from .disasm import disassemble
+
+        return disassemble(self.raw)
+
+
+def decode(word):
+    """Decode a 32-bit instruction word into an :class:`Instruction`."""
+    word &= 0xFFFFFFFF
+    opcode = word & 0x7F
+    rd = (word >> 7) & 0x1F
+    funct3 = (word >> 12) & 0x7
+    rs1 = (word >> 15) & 0x1F
+    rs2 = (word >> 20) & 0x1F
+    funct7 = (word >> 25) & 0x7F
+
+    if opcode in (OPCODE_LUI, OPCODE_AUIPC):
+        imm = _sext(word >> 12, 20) << 12
+    elif opcode == OPCODE_JAL:
+        imm = _sext(
+            ((word >> 31) & 1) << 20
+            | ((word >> 12) & 0xFF) << 12
+            | ((word >> 20) & 1) << 11
+            | ((word >> 21) & 0x3FF) << 1,
+            21,
+        )
+    elif opcode == OPCODE_BRANCH:
+        imm = _sext(
+            ((word >> 31) & 1) << 12
+            | ((word >> 7) & 1) << 11
+            | ((word >> 25) & 0x3F) << 5
+            | ((word >> 8) & 0xF) << 1,
+            13,
+        )
+    elif opcode == OPCODE_STORE:
+        imm = _sext(((word >> 25) & 0x7F) << 5 | ((word >> 7) & 0x1F), 12)
+    else:  # I-format and friends
+        imm = _sext(word >> 20, 12)
+
+    return Instruction(
+        raw=word, opcode=opcode, rd=rd, rs1=rs1, rs2=rs2,
+        funct3=funct3, funct7=funct7, imm=imm,
+    )
+
+
+def is_cfu(instr):
+    return instr.opcode == OPCODE_CUSTOM0

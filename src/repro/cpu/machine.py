@@ -1,0 +1,419 @@
+"""Executable RV32IM machine: the instruction-set simulator.
+
+This is the functional CPU model (the VexRiscv stand-in).  It executes
+real encoded instructions against a byte-addressed memory, optionally
+attached to a CFU (any object with ``execute(funct3, funct7, a, b) ->
+(result, cycles)``) and a timing model (:mod:`repro.cpu.timing`), in
+which case it also accumulates a cycle count.
+
+The machine halts on ``ebreak``; ``ecall`` invokes a pluggable handler
+(default: treat ``a7 == 93`` as exit-with-code-in-``a0``, anything else
+halts too).
+"""
+
+from __future__ import annotations
+
+from . import isa
+from .isa import OPCODE_CUSTOM0
+
+_PAGE_BITS = 12
+_PAGE_SIZE = 1 << _PAGE_BITS
+_MASK32 = 0xFFFFFFFF
+
+
+def _sext32(value):
+    value &= _MASK32
+    return value - (1 << 32) if value & 0x80000000 else value
+
+
+class MemoryAccessError(RuntimeError):
+    pass
+
+
+class SparseMemory:
+    """Byte-addressable sparse memory over 4 KiB pages (little endian)."""
+
+    def __init__(self):
+        self._pages = {}
+
+    def _page(self, addr):
+        index = addr >> _PAGE_BITS
+        page = self._pages.get(index)
+        if page is None:
+            page = bytearray(_PAGE_SIZE)
+            self._pages[index] = page
+        return page
+
+    def load_bytes(self, addr, data):
+        for i, byte in enumerate(data):
+            self.write8(addr + i, byte)
+
+    def read_bytes(self, addr, length):
+        return bytes(self.read8(addr + i) for i in range(length))
+
+    def read8(self, addr):
+        return self._page(addr)[addr & (_PAGE_SIZE - 1)]
+
+    def write8(self, addr, value):
+        self._page(addr)[addr & (_PAGE_SIZE - 1)] = value & 0xFF
+
+    def read16(self, addr):
+        return self.read8(addr) | self.read8(addr + 1) << 8
+
+    def write16(self, addr, value):
+        self.write8(addr, value)
+        self.write8(addr + 1, value >> 8)
+
+    def read32(self, addr):
+        page = self._page(addr)
+        offset = addr & (_PAGE_SIZE - 1)
+        if offset <= _PAGE_SIZE - 4:
+            return int.from_bytes(page[offset:offset + 4], "little")
+        return self.read16(addr) | self.read16(addr + 2) << 16
+
+    def write32(self, addr, value):
+        page = self._page(addr)
+        offset = addr & (_PAGE_SIZE - 1)
+        if offset <= _PAGE_SIZE - 4:
+            page[offset:offset + 4] = (value & _MASK32).to_bytes(4, "little")
+        else:
+            self.write16(addr, value)
+            self.write16(addr + 2, value >> 16)
+
+
+class Machine:
+    """A single-hart RV32IM machine with optional CFU and timing model."""
+
+    def __init__(self, memory=None, cfu=None, timing=None):
+        self.memory = memory if memory is not None else SparseMemory()
+        self.cfu = cfu
+        self.timing = timing
+        self.regs = [0] * 32
+        self.pc = 0
+        self.instret = 0
+        self.cycles = 0
+        self.halted = False
+        self.exit_code = None
+        self.ecall_handler = self._default_ecall
+        # Hazard tracking for the timing model.
+        self._pending_rd = 0
+        self._pending_is_load = False
+
+    # --- program loading -----------------------------------------------------------
+    def load_program(self, code, addr=0):
+        self.memory.load_bytes(addr, code)
+        self.pc = addr
+
+    def load_assembly(self, source, addr=0):
+        from .assembler import assemble
+
+        code, symbols = assemble(source, origin=addr)
+        self.load_program(code, addr)
+        return symbols
+
+    # --- register helpers -------------------------------------------------------------
+    def set_reg(self, index, value):
+        if index:
+            self.regs[index] = value & _MASK32
+
+    def get_reg(self, index):
+        return self.regs[index]
+
+    # --- execution ------------------------------------------------------------------
+    def run(self, max_instructions=1_000_000):
+        """Execute until halt or the instruction budget is exhausted."""
+        executed = 0
+        while not self.halted and executed < max_instructions:
+            self.step()
+            executed += 1
+        if not self.halted and executed >= max_instructions:
+            raise RuntimeError(f"instruction budget exhausted at pc=0x{self.pc:08x}")
+        return self.exit_code
+
+    def step(self):
+        if self.halted:
+            return
+        word = self.memory.read32(self.pc)
+        ins = isa.decode(word)
+        if self.timing is not None:
+            self.cycles += self.timing.fetch(self.pc)
+            self.cycles += self._hazard_stall(ins)
+        next_pc = self.pc + 4
+        cycles = 1
+        self._pending_rd = 0
+        self._pending_is_load = False
+
+        op = ins.opcode
+        rs1 = self.regs[ins.rs1]
+        rs2 = self.regs[ins.rs2]
+
+        if op == isa.OPCODE_OP_IMM:
+            cycles += self._alu_imm(ins, rs1)
+        elif op == isa.OPCODE_OP:
+            cycles += self._alu_reg(ins, rs1, rs2)
+        elif op == isa.OPCODE_LUI:
+            self.set_reg(ins.rd, ins.imm)
+        elif op == isa.OPCODE_AUIPC:
+            self.set_reg(ins.rd, self.pc + ins.imm)
+        elif op == isa.OPCODE_JAL:
+            self.set_reg(ins.rd, self.pc + 4)
+            next_pc = (self.pc + ins.imm) & _MASK32
+            if self.timing is not None:
+                cycles += self.timing.jump_penalty(direct=True)
+        elif op == isa.OPCODE_JALR:
+            target = (rs1 + ins.imm) & ~1 & _MASK32
+            self.set_reg(ins.rd, self.pc + 4)
+            next_pc = target
+            if self.timing is not None:
+                cycles += self.timing.jump_penalty(direct=False)
+        elif op == isa.OPCODE_BRANCH:
+            taken = self._branch_taken(ins, rs1, rs2)
+            if taken:
+                next_pc = (self.pc + ins.imm) & _MASK32
+            if self.timing is not None:
+                cycles += self.timing.branch_penalty(self.pc, taken, ins.imm < 0)
+        elif op == isa.OPCODE_LOAD:
+            cycles += self._load(ins, rs1)
+        elif op == isa.OPCODE_STORE:
+            cycles += self._store(ins, rs1, rs2)
+        elif op == OPCODE_CUSTOM0:
+            cycles += self._cfu_op(ins, rs1, rs2)
+        elif op == isa.OPCODE_SYSTEM:
+            next_pc = self._system(ins, next_pc)
+        elif op == isa.OPCODE_MISC_MEM:
+            pass  # fence: no-op on an in-order single hart
+        else:
+            raise RuntimeError(f"illegal instruction 0x{word:08x} at pc=0x{self.pc:08x}")
+
+        self.pc = next_pc
+        self.instret += 1
+        if self.timing is None:
+            self.cycles += 1
+        else:
+            self.cycles += cycles
+
+    # --- instruction groups ----------------------------------------------------------
+    def _alu_imm(self, ins, rs1):
+        extra = 0
+        f3 = ins.funct3
+        if f3 == 0:
+            result = rs1 + ins.imm
+        elif f3 == 2:
+            result = int(_sext32(rs1) < ins.imm)
+        elif f3 == 3:
+            result = int(rs1 < (ins.imm & _MASK32))
+        elif f3 == 4:
+            result = rs1 ^ ins.imm
+        elif f3 == 6:
+            result = rs1 | ins.imm
+        elif f3 == 7:
+            result = rs1 & ins.imm
+        elif f3 == 1:
+            shamt = ins.imm & 0x1F
+            result = rs1 << shamt
+            extra = self._shift_cost(shamt)
+        elif f3 == 5:
+            shamt = ins.imm & 0x1F
+            if ins.funct7 & 0x20:
+                result = _sext32(rs1) >> shamt
+            else:
+                result = rs1 >> shamt
+            extra = self._shift_cost(shamt)
+        else:
+            raise RuntimeError("bad OP-IMM funct3")
+        self.set_reg(ins.rd, result)
+        self._pending_rd = ins.rd
+        return extra
+
+    def _alu_reg(self, ins, rs1, rs2):
+        extra = 0
+        f3, f7 = ins.funct3, ins.funct7
+        if f7 == 0x01:  # M extension
+            result, extra = self._muldiv(f3, rs1, rs2)
+        elif f3 == 0:
+            result = rs1 - rs2 if f7 & 0x20 else rs1 + rs2
+        elif f3 == 1:
+            result = rs1 << (rs2 & 0x1F)
+            extra = self._shift_cost(rs2 & 0x1F)
+        elif f3 == 2:
+            result = int(_sext32(rs1) < _sext32(rs2))
+        elif f3 == 3:
+            result = int(rs1 < rs2)
+        elif f3 == 4:
+            result = rs1 ^ rs2
+        elif f3 == 5:
+            shamt = rs2 & 0x1F
+            result = _sext32(rs1) >> shamt if f7 & 0x20 else rs1 >> shamt
+            extra = self._shift_cost(shamt)
+        elif f3 == 6:
+            result = rs1 | rs2
+        elif f3 == 7:
+            result = rs1 & rs2
+        else:
+            raise RuntimeError("bad OP funct3")
+        self.set_reg(ins.rd, result)
+        self._pending_rd = ins.rd
+        return extra
+
+    def _muldiv(self, f3, rs1, rs2):
+        s1, s2 = _sext32(rs1), _sext32(rs2)
+        if f3 == 0:
+            result = s1 * s2
+            extra = self._mul_cost()
+        elif f3 == 1:
+            result = (s1 * s2) >> 32
+            extra = self._mul_cost()
+        elif f3 == 2:
+            result = (s1 * rs2) >> 32
+            extra = self._mul_cost()
+        elif f3 == 3:
+            result = (rs1 * rs2) >> 32
+            extra = self._mul_cost()
+        elif f3 == 4:
+            result = -1 if s2 == 0 else _div_trunc(s1, s2)
+            extra = self._div_cost()
+        elif f3 == 5:
+            result = _MASK32 if rs2 == 0 else rs1 // rs2
+            extra = self._div_cost()
+        elif f3 == 6:
+            result = s1 if s2 == 0 else s1 - _div_trunc(s1, s2) * s2
+            extra = self._div_cost()
+        else:
+            result = rs1 if rs2 == 0 else rs1 % rs2
+            extra = self._div_cost()
+        return result, extra
+
+    def _mul_cost(self):
+        return self.timing.mul_cycles() - 1 if self.timing else 0
+
+    def _div_cost(self):
+        return self.timing.div_cycles() - 1 if self.timing else 0
+
+    def _shift_cost(self, shamt):
+        return self.timing.shift_cycles(shamt) - 1 if self.timing else 0
+
+    def _branch_taken(self, ins, rs1, rs2):
+        f3 = ins.funct3
+        if f3 == 0:
+            return rs1 == rs2
+        if f3 == 1:
+            return rs1 != rs2
+        if f3 == 4:
+            return _sext32(rs1) < _sext32(rs2)
+        if f3 == 5:
+            return _sext32(rs1) >= _sext32(rs2)
+        if f3 == 6:
+            return rs1 < rs2
+        if f3 == 7:
+            return rs1 >= rs2
+        raise RuntimeError("bad branch funct3")
+
+    def _load(self, ins, rs1):
+        addr = (rs1 + ins.imm) & _MASK32
+        f3 = ins.funct3
+        if f3 == 0:
+            value = _sext8(self.memory.read8(addr))
+        elif f3 == 1:
+            self._check_align(addr, 2)
+            value = _sext16(self.memory.read16(addr))
+        elif f3 == 2:
+            self._check_align(addr, 4)
+            value = self.memory.read32(addr)
+        elif f3 == 4:
+            value = self.memory.read8(addr)
+        elif f3 == 5:
+            self._check_align(addr, 2)
+            value = self.memory.read16(addr)
+        else:
+            raise RuntimeError("bad load funct3")
+        self.set_reg(ins.rd, value)
+        self._pending_rd = ins.rd
+        self._pending_is_load = True
+        if self.timing is not None:
+            return self.timing.load_cycles(addr) - 1
+        return 0
+
+    def _store(self, ins, rs1, rs2):
+        addr = (rs1 + ins.imm) & _MASK32
+        f3 = ins.funct3
+        if f3 == 0:
+            self.memory.write8(addr, rs2)
+        elif f3 == 1:
+            self._check_align(addr, 2)
+            self.memory.write16(addr, rs2)
+        elif f3 == 2:
+            self._check_align(addr, 4)
+            self.memory.write32(addr, rs2)
+        else:
+            raise RuntimeError("bad store funct3")
+        if self.timing is not None:
+            return self.timing.store_cycles(addr) - 1
+        return 0
+
+    def _cfu_op(self, ins, rs1, rs2):
+        if self.cfu is None:
+            raise RuntimeError(
+                f"CFU instruction at pc=0x{self.pc:08x} but no CFU attached"
+            )
+        result, latency = self.cfu.execute(ins.funct3, ins.funct7, rs1, rs2)
+        self.set_reg(ins.rd, result)
+        self._pending_rd = ins.rd
+        return max(0, latency - 1)
+
+    def _system(self, ins, next_pc):
+        if ins.raw == 0x00100073:  # ebreak
+            self.halted = True
+            return self.pc
+        if ins.raw == 0x00000073:  # ecall
+            return self.ecall_handler(next_pc)
+        csr = ins.imm & 0xFFF
+        if ins.funct3 in (1, 2, 3):  # csrrw/csrrs/csrrc
+            value = {0xB00: self.cycles, 0xC00: self.cycles,
+                     0xC02: self.instret, 0xB02: self.instret}.get(csr, 0)
+            self.set_reg(ins.rd, value)
+            return next_pc
+        raise RuntimeError(f"unsupported SYSTEM instruction 0x{ins.raw:08x}")
+
+    def _default_ecall(self, next_pc):
+        if self.regs[17] == 93:  # exit
+            self.exit_code = _sext32(self.regs[10])
+            self.halted = True
+            return self.pc
+        self.halted = True
+        self.exit_code = _sext32(self.regs[10])
+        return self.pc
+
+    def _check_align(self, addr, size):
+        if self.timing is not None and not self.timing.checks_alignment():
+            return  # hardware error checking removed: silently allow
+        if addr % size:
+            raise MemoryAccessError(
+                f"misaligned {size}-byte access at 0x{addr:08x} (pc=0x{self.pc:08x})"
+            )
+
+    def _hazard_stall(self, ins):
+        """Read-after-write interlock cost for the incoming instruction."""
+        if not self._pending_rd:
+            return 0
+        reads = set()
+        if ins.opcode not in (isa.OPCODE_LUI, isa.OPCODE_AUIPC, isa.OPCODE_JAL):
+            reads.add(ins.rs1)
+        if ins.opcode in (isa.OPCODE_OP, isa.OPCODE_BRANCH, isa.OPCODE_STORE,
+                          OPCODE_CUSTOM0):
+            reads.add(ins.rs2)
+        if self._pending_rd not in reads:
+            return 0
+        return self.timing.hazard_cycles(self._pending_is_load)
+
+
+def _sext8(value):
+    return value - 256 if value & 0x80 else value
+
+
+def _sext16(value):
+    return value - 65536 if value & 0x8000 else value
+
+
+def _div_trunc(a, b):
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q

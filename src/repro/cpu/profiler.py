@@ -1,0 +1,99 @@
+"""Instruction-level profiler for the ISA machine.
+
+The on-board half of the paper's "Profile" step: attach to a
+:class:`~repro.cpu.machine.Machine`, run a program, and get cycle
+attribution per symbol (from the assembler's label table) or per address
+range — the same view `perf`/gprof would give on the real board via the
+mcycle counter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ProfileEntry:
+    name: str
+    cycles: int = 0
+    instructions: int = 0
+
+    def cpi(self):
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+
+@dataclass
+class Profile:
+    entries: dict = field(default_factory=dict)
+    total_cycles: int = 0
+
+    def top(self, count=10):
+        ranked = sorted(self.entries.values(), key=lambda e: -e.cycles)
+        return ranked[:count]
+
+    def summary(self, count=10):
+        lines = [f"{'symbol':24s} {'cycles':>12s} {'share':>7s} {'CPI':>6s}"]
+        for entry in self.top(count):
+            share = (100 * entry.cycles / self.total_cycles
+                     if self.total_cycles else 0)
+            lines.append(f"{entry.name:24s} {entry.cycles:>12,} "
+                         f"{share:>6.1f}% {entry.cpi():>6.2f}")
+        return "\n".join(lines)
+
+    def __getitem__(self, name):
+        return self.entries[name]
+
+
+class MachineProfiler:
+    """Wraps a machine's step() to attribute cycles to symbols.
+
+    ``symbols`` maps names to start addresses (the assembler returns
+    exactly this); each instruction is attributed to the nearest symbol
+    at or below its pc.
+    """
+
+    def __init__(self, machine, symbols):
+        self.machine = machine
+        self._sorted = sorted(
+            ((addr, name) for name, addr in symbols.items()),
+            key=lambda pair: pair[0],
+        )
+        self.profile = Profile()
+        self._original_step = machine.step
+
+    def _symbol_for(self, pc):
+        name = "<unknown>"
+        for addr, symbol in self._sorted:
+            if addr > pc:
+                break
+            name = symbol
+        return name
+
+    def run(self, max_instructions=5_000_000):
+        machine = self.machine
+        while not machine.halted and max_instructions > 0:
+            pc = machine.pc
+            before = machine.cycles
+            self._original_step()
+            spent = machine.cycles - before
+            name = self._symbol_for(pc)
+            entry = self.profile.entries.setdefault(name, ProfileEntry(name))
+            entry.cycles += spent
+            entry.instructions += 1
+            self.profile.total_cycles += spent
+            max_instructions -= 1
+        if not machine.halted:
+            raise RuntimeError("instruction budget exhausted while profiling")
+        return self.profile
+
+
+def profile_assembly(source, timing=None, cfu=None, region_base=0,
+                     max_instructions=5_000_000):
+    """Assemble, run, and profile a program in one call."""
+    from .machine import Machine
+
+    machine = Machine(cfu=cfu, timing=timing)
+    symbols = machine.load_assembly(source, addr=region_base)
+    profiler = MachineProfiler(machine, symbols)
+    profile = profiler.run(max_instructions)
+    return profile, machine

@@ -1,0 +1,157 @@
+"""Cycle-cost model for a VexRiscv configuration on a given memory map.
+
+:class:`VexTiming` is consumed two ways:
+
+1. Attached to the instruction-set :class:`~repro.cpu.machine.Machine`,
+   where it charges per-instruction costs with trace-driven caches.
+2. Queried by the analytic loop-nest model (:mod:`repro.perf.cost`) for
+   the same unit costs, so whole-model estimates and instruction-level
+   simulation agree by construction.
+"""
+
+from __future__ import annotations
+
+from ..perf.cache import Cache
+from ..perf.memories import ON_CHIP_SRAM, MemoryMap, MemoryRegion
+from .vexriscv import VexRiscvConfig
+
+_SOFT_DIV_CYCLES = 220  # software emulation of one division (no divider)
+
+#: Early-terminating shift-add multiplier: ~1 cycle per significant bit
+#: of the smaller operand (index arithmetic averages ~8).
+ITERATIVE_MUL_CYCLES = 8
+#: Radix-2 restoring divider.
+ITERATIVE_DIV_CYCLES = 34
+SOFT_DIV_CYCLES = _SOFT_DIV_CYCLES
+
+
+def _flat_sram_map():
+    return MemoryMap([
+        MemoryRegion("ram", base=0, size=1 << 28, tech=ON_CHIP_SRAM),
+    ])
+
+
+class BranchPredictor:
+    """Direction (2-bit counters) and target (BTB) prediction state."""
+
+    def __init__(self, kind, table_size=128):
+        self.kind = kind
+        self.table_size = table_size
+        self._counters = [1] * table_size  # weakly not-taken
+
+    def predict_taken(self, pc, backward):
+        if self.kind == "none":
+            return False
+        if self.kind == "static":
+            return backward
+        return self._counters[self._index(pc)] >= 2
+
+    def update(self, pc, taken):
+        if self.kind in ("dynamic", "dynamic_target"):
+            index = self._index(pc)
+            counter = self._counters[index]
+            self._counters[index] = min(3, counter + 1) if taken else max(0, counter - 1)
+
+    def knows_target(self):
+        """Only a BTB (dynamic_target) avoids the redirect bubble on a
+        correctly-predicted taken branch."""
+        return self.kind == "dynamic_target"
+
+    def _index(self, pc):
+        return (pc >> 2) % self.table_size
+
+
+class VexTiming:
+    """Per-event cycle costs for one CPU configuration."""
+
+    def __init__(self, config=None, memory_map=None, line_bytes=32):
+        self.config = config or VexRiscvConfig()
+        self.memory_map = memory_map or _flat_sram_map()
+        self.line_bytes = line_bytes
+        self.icache = (
+            Cache(self.config.icache_bytes, self.config.icache_ways,
+                  line_bytes, name="icache")
+            if self.config.has_icache else None
+        )
+        self.dcache = (
+            Cache(self.config.dcache_bytes, self.config.dcache_ways,
+                  line_bytes, name="dcache")
+            if self.config.has_dcache else None
+        )
+        self.predictor = BranchPredictor(self.config.branch_prediction)
+
+    # --- instruction fetch -------------------------------------------------------
+    def fetch(self, pc):
+        """Extra cycles to fetch the instruction at ``pc`` (0 = fully pipelined)."""
+        region = self.memory_map.find(pc)
+        if self.icache is not None and region.cacheable:
+            if self.icache.access(pc):
+                return 0
+            return region.tech.line_fill_cycles(self.line_bytes)
+        # No instruction cache: every fetch pays the region's word latency
+        # beyond the one pipelined cycle.
+        return region.tech.first_word_latency - 1
+
+    # --- data access -----------------------------------------------------------------
+    def load_cycles(self, addr):
+        return self._data_access(addr, write=False)
+
+    def store_cycles(self, addr):
+        return self._data_access(addr, write=True)
+
+    def _data_access(self, addr, write):
+        region = self.memory_map.find(addr)
+        if self.dcache is not None and region.cacheable:
+            if self.dcache.access(addr, write=write):
+                return 1
+            return 1 + region.tech.line_fill_cycles(self.line_bytes)
+        if write:
+            return region.tech.write_latency
+        return region.tech.first_word_latency
+
+    # --- control flow ---------------------------------------------------------------
+    def branch_penalty(self, pc, taken, backward):
+        """Extra cycles for a branch beyond its 1-cycle slot."""
+        predicted = self.predictor.predict_taken(pc, backward)
+        self.predictor.update(pc, taken)
+        if predicted != taken:
+            return self.config.mispredict_penalty
+        if taken and not self.predictor.knows_target():
+            return 1  # correct direction but target computed in decode
+        return 0
+
+    def jump_penalty(self, direct):
+        return 1 if direct else 2
+
+    # --- functional units ---------------------------------------------------------------
+    def mul_cycles(self):
+        mul = self.config.multiplier
+        if mul == "single_cycle":
+            return 1
+        if mul == "iterative":
+            return ITERATIVE_MUL_CYCLES
+        raise RuntimeError("MUL executed but CPU has no multiplier")
+
+    def div_cycles(self):
+        if self.config.divider == "iterative":
+            return ITERATIVE_DIV_CYCLES
+        return SOFT_DIV_CYCLES
+
+    def shift_cycles(self, shamt):
+        if self.config.shifter == "barrel":
+            return 1
+        return 1 + max(0, int(shamt))
+
+    def hazard_cycles(self, is_load):
+        if self.config.bypassing:
+            return 1 if is_load else 0
+        return 2
+
+    def checks_alignment(self):
+        return self.config.hw_error_checking
+
+    # --- bookkeeping ----------------------------------------------------------------
+    def reset_stats(self):
+        for cache in (self.icache, self.dcache):
+            if cache is not None:
+                cache.reset_stats()

@@ -1,0 +1,132 @@
+"""VexRiscv configuration space: the knobs the paper turns.
+
+The paper never edits VexRiscv RTL — it selects plugins and parameters
+(caches, branch prediction, multiplier/divider/shifter implementations,
+bypassing, hardware error checking).  :class:`VexRiscvConfig` captures
+exactly those knobs; :func:`cpu_resources` gives the logic-cell / DSP /
+BRAM cost of a configuration (the quantity Vizier trades against CFU
+resources in the Fig 7 design-space exploration).
+
+Area coefficients are first-order estimates anchored on published
+VexRiscv builds on iCE40/Artix parts; what matters for the reproduction
+is their *relative* weight (e.g. a dynamic-target predictor costs more
+than a static one, single-cycle multiply consumes DSP tiles, caches are
+mostly block RAM plus a control overhead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..rtl.synth import ResourceReport
+
+BRANCH_PREDICTORS = ("none", "static", "dynamic", "dynamic_target")
+MULTIPLIERS = ("none", "iterative", "single_cycle")
+DIVIDERS = ("none", "iterative")
+SHIFTERS = ("iterative", "barrel")
+
+
+@dataclass(frozen=True)
+class VexRiscvConfig:
+    """One point in the soft-CPU design space."""
+
+    bypassing: bool = True
+    branch_prediction: str = "dynamic"
+    multiplier: str = "single_cycle"
+    divider: str = "iterative"
+    shifter: str = "barrel"
+    icache_bytes: int = 4096
+    icache_ways: int = 1
+    dcache_bytes: int = 4096
+    dcache_ways: int = 1
+    hw_error_checking: bool = True
+    mispredict_penalty: int = 3
+
+    def __post_init__(self):
+        if self.branch_prediction not in BRANCH_PREDICTORS:
+            raise ValueError(f"bad branch predictor {self.branch_prediction!r}")
+        if self.multiplier not in MULTIPLIERS:
+            raise ValueError(f"bad multiplier {self.multiplier!r}")
+        if self.divider not in DIVIDERS:
+            raise ValueError(f"bad divider {self.divider!r}")
+        if self.shifter not in SHIFTERS:
+            raise ValueError(f"bad shifter {self.shifter!r}")
+        for size in (self.icache_bytes, self.dcache_bytes):
+            if size and (size & (size - 1)):
+                raise ValueError("cache sizes must be powers of two (or 0)")
+
+    def evolve(self, **changes):
+        return replace(self, **changes)
+
+    @property
+    def has_icache(self):
+        return self.icache_bytes > 0
+
+    @property
+    def has_dcache(self):
+        return self.dcache_bytes > 0
+
+
+#: The configuration the KWS study starts from: everything stripped to
+#: squeeze onto Fomu (Section III-B "Profile").
+FOMU_MINIMAL = VexRiscvConfig(
+    bypassing=False,
+    branch_prediction="none",
+    multiplier="iterative",
+    divider="none",          # division handled by software emulation
+    shifter="iterative",
+    icache_bytes=1024,
+    dcache_bytes=0,
+    hw_error_checking=False,
+)
+
+#: A comfortable Artix-7 configuration (the Arty image-classification study).
+ARTY_DEFAULT = VexRiscvConfig(
+    bypassing=True,
+    branch_prediction="dynamic_target",
+    multiplier="single_cycle",
+    divider="iterative",
+    shifter="barrel",
+    icache_bytes=4096,
+    dcache_bytes=4096,
+)
+
+# Logic-cell cost coefficients (LUT4-equivalent cells).
+_BASE_CELLS = 1750            # 5-stage integer pipeline, regfile, decode
+_BYPASS_CELLS = 300
+_PREDICTOR_CELLS = {"none": 0, "static": 80, "dynamic": 230, "dynamic_target": 400}
+_MUL_CELLS = {"none": 0, "iterative": 160, "single_cycle": 110}
+_MUL_DSPS = {"none": 0, "iterative": 0, "single_cycle": 4}
+_DIV_CELLS = {"none": 0, "iterative": 430}
+_SHIFT_CELLS = {"iterative": 90, "barrel": 340}
+_CACHE_CTRL_CELLS = 290       # per cache: tags compare, refill FSM
+_ERROR_CHECK_CELLS = 230      # misaligned/illegal access checking
+
+
+def cpu_resources(config):
+    """Estimate the FPGA resources of a VexRiscv configuration."""
+    luts = _BASE_CELLS
+    luts += _BYPASS_CELLS if config.bypassing else 0
+    luts += _PREDICTOR_CELLS[config.branch_prediction]
+    luts += _MUL_CELLS[config.multiplier]
+    luts += _DIV_CELLS[config.divider]
+    luts += _SHIFT_CELLS[config.shifter]
+    luts += _ERROR_CHECK_CELLS if config.hw_error_checking else 0
+    ffs = luts // 3  # pipeline registers track combinational complexity
+    bram_bits = 0
+    for size, ways in ((config.icache_bytes, config.icache_ways),
+                       (config.dcache_bytes, config.dcache_ways)):
+        if size:
+            luts += _CACHE_CTRL_CELLS + 40 * (ways - 1)
+            bram_bits += size * 8            # data array
+            bram_bits += (size // 32) * 22   # tag + valid per 32B line
+    if config.branch_prediction == "dynamic":
+        bram_bits += 128 * 2                 # 2-bit counter table
+    if config.branch_prediction == "dynamic_target":
+        bram_bits += 128 * 2 + 64 * 34       # counters + BTB
+    return ResourceReport(
+        luts=luts,
+        ffs=ffs,
+        dsps=_MUL_DSPS[config.multiplier],
+        bram_bits=bram_bits,
+    )

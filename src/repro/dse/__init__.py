@@ -1,0 +1,17 @@
+"""Design-space exploration: the Open Source Vizier stand-in."""
+
+from .algorithms import RandomSearch, RegularizedEvolution, TpeLite
+from .pareto import dominates, hypervolume_2d, pareto_front
+from .runner import CFU_FAMILIES, DseResult, Fig7Evaluator, run_fig7, total_space_size
+from .space import CACHE_SIZES, Parameter, ParameterSpace, point_to_cpu_config, vexriscv_space
+from .study import MAXIMIZE, MINIMIZE, MetricGoal, Study, Trial
+from .vizier import StudyClient, VizierError, VizierService
+
+__all__ = [
+    "CACHE_SIZES", "CFU_FAMILIES", "DseResult", "Fig7Evaluator", "MAXIMIZE",
+    "MINIMIZE", "MetricGoal", "Parameter", "ParameterSpace", "RandomSearch",
+    "RegularizedEvolution", "Study", "TpeLite", "Trial", "dominates",
+    "hypervolume_2d", "pareto_front", "point_to_cpu_config", "run_fig7",
+    "StudyClient", "VizierError", "VizierService",
+    "total_space_size", "vexriscv_space",
+]

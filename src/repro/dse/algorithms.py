@@ -1,0 +1,123 @@
+"""Suggestion algorithms for the Vizier stand-in.
+
+Three algorithms with the same ``propose(study)`` interface:
+
+- :class:`RandomSearch` — the baseline Vizier offers.
+- :class:`RegularizedEvolution` — tournament-select a parent from the
+  recent population, mutate one knob (Real et al.); extended to
+  multi-objective via Pareto-rank-then-crowding selection.
+- :class:`TpeLite` — a lightweight tree-structured Parzen estimator:
+  categorical densities fitted over the elite/rest split, proposals
+  sampled from the elite density.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+
+from .pareto import pareto_front
+
+
+class SuggestionAlgorithm:
+    """Interface: bound to a study, proposes parameter dicts."""
+
+    def bind(self, study):
+        """Called once when attached to a study (stateful algorithms
+        may initialize here)."""
+
+    def propose(self, study):
+        raise NotImplementedError
+
+
+class RandomSearch(SuggestionAlgorithm):
+    """Uniform sampling of the space."""
+
+    def bind(self, study):
+        pass
+
+    def propose(self, study):
+        return study.space.sample(study.rng)
+
+
+class RegularizedEvolution(SuggestionAlgorithm):
+    """Aging evolution with Pareto-aware tournament selection."""
+
+    def __init__(self, population_size=48, tournament_size=8, warmup=24,
+                 mutations=1):
+        self.population_size = population_size
+        self.tournament_size = tournament_size
+        self.warmup = warmup
+        self.mutations = mutations
+
+    def bind(self, study):
+        pass
+
+    def propose(self, study):
+        completed = study.completed_trials()
+        if len(completed) < self.warmup:
+            return study.space.sample(study.rng)
+        population = completed[-self.population_size:]
+        tournament = study.rng.sample(
+            population, min(self.tournament_size, len(population))
+        )
+        front = pareto_front(tournament, key=study.metric_tuple)
+        parent = study.rng.choice(front)
+        return study.space.mutate(parent.parameters, study.rng, self.mutations)
+
+
+class TpeLite(SuggestionAlgorithm):
+    """Categorical TPE: sample each knob from the elite density l(x),
+    weighted against the non-elite density g(x)."""
+
+    def __init__(self, gamma=0.25, warmup=20, candidates=16, smoothing=1.0):
+        self.gamma = gamma
+        self.warmup = warmup
+        self.candidates = candidates
+        self.smoothing = smoothing
+
+    def bind(self, study):
+        pass
+
+    def propose(self, study):
+        completed = study.completed_trials()
+        if len(completed) < self.warmup:
+            return study.space.sample(study.rng)
+        ranked = sorted(completed, key=study.metric_tuple)
+        cut = max(1, int(math.ceil(self.gamma * len(ranked))))
+        elite, rest = ranked[:cut], ranked[cut:]
+        best, best_score = None, -math.inf
+        for _ in range(self.candidates):
+            candidate = self._sample_from(elite, study)
+            score = (self._log_density(candidate, elite, study)
+                     - self._log_density(candidate, rest, study))
+            if score > best_score:
+                best, best_score = candidate, score
+        return best
+
+    def _counts(self, trials, parameter):
+        counts = defaultdict(float)
+        for trial in trials:
+            counts[trial.parameters[parameter.name]] += 1.0
+        return counts
+
+    def _sample_from(self, trials, study):
+        point = {}
+        for parameter in study.space:
+            counts = self._counts(trials, parameter)
+            weights = [counts[v] + self.smoothing for v in parameter.values]
+            point[parameter.name] = study.rng.choices(
+                parameter.values, weights=weights
+            )[0]
+        return point
+
+    def _log_density(self, point, trials, study):
+        if not trials:
+            return 0.0
+        total = 0.0
+        for parameter in study.space:
+            counts = self._counts(trials, parameter)
+            numer = counts[point[parameter.name]] + self.smoothing
+            denom = len(trials) + self.smoothing * len(parameter.values)
+            total += math.log(numer / denom)
+        return total

@@ -1,0 +1,57 @@
+"""Pareto-front utilities for multi-objective design-space exploration."""
+
+from __future__ import annotations
+
+
+def dominates(a, b):
+    """True if point ``a`` dominates ``b`` (all objectives minimized).
+
+    ``a`` and ``b`` are equal-length metric tuples.
+    """
+    at_least_as_good = all(x <= y for x, y in zip(a, b))
+    strictly_better = any(x < y for x, y in zip(a, b))
+    return at_least_as_good and strictly_better
+
+
+def pareto_front(points, key=None):
+    """Non-dominated subset of ``points`` (minimization).
+
+    ``key(point)`` extracts the metric tuple; defaults to identity.
+    Returns the front sorted by the first objective.
+    """
+    key = key or (lambda p: p)
+    front = []
+    for candidate in points:
+        candidate_metrics = key(candidate)
+        dominated = False
+        survivors = []
+        for existing in front:
+            existing_metrics = key(existing)
+            if dominates(existing_metrics, candidate_metrics):
+                dominated = True
+                survivors.append(existing)
+            elif not dominates(candidate_metrics, existing_metrics):
+                survivors.append(existing)
+        if not dominated:
+            survivors.append(candidate)
+            front = survivors
+    return sorted(front, key=lambda p: key(p)[0])
+
+
+def hypervolume_2d(front, reference):
+    """2-D hypervolume (area dominated up to ``reference``), for tests
+    and convergence tracking."""
+    points = sorted((tuple(p) for p in front))
+    area = 0.0
+    prev_x = None
+    best_y = reference[1]
+    for x, y in points:
+        if x >= reference[0]:
+            break
+        if prev_x is not None:
+            area += (x - prev_x) * max(0.0, reference[1] - best_y)
+        prev_x = x
+        best_y = min(best_y, y)
+    if prev_x is not None:
+        area += (reference[0] - prev_x) * max(0.0, reference[1] - best_y)
+    return area

@@ -1,0 +1,104 @@
+"""Study/Trial API modeled on Open Source Vizier.
+
+A :class:`Study` owns a parameter space, one or more metric goals, and a
+suggestion algorithm; clients pull suggestions, evaluate them (here: the
+Verilator/yosys stand-ins), and complete the trials with measurements.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from .pareto import pareto_front
+
+MINIMIZE = "minimize"
+MAXIMIZE = "maximize"
+
+
+@dataclass(frozen=True)
+class MetricGoal:
+    name: str
+    goal: str = MINIMIZE
+
+    def canonical(self, value):
+        """Value transformed so that smaller is always better."""
+        return value if self.goal == MINIMIZE else -value
+
+
+@dataclass
+class Trial:
+    trial_id: int
+    parameters: dict
+    metrics: dict = field(default_factory=dict)
+    completed: bool = False
+    infeasible: bool = False
+
+    def complete(self, metrics=None, infeasible=False):
+        self.metrics = dict(metrics or {})
+        self.completed = True
+        self.infeasible = infeasible
+        return self
+
+
+class Study:
+    """A named optimization study (the Vizier service object)."""
+
+    def __init__(self, space, goals, algorithm=None, name="study", seed=0):
+        from .algorithms import RandomSearch
+
+        self.space = space
+        self.goals = [g if isinstance(g, MetricGoal) else MetricGoal(g)
+                      for g in goals]
+        self.algorithm = algorithm or RandomSearch()
+        self.algorithm.bind(self)
+        self.name = name
+        self.rng = random.Random(seed)
+        self.trials = []
+
+    # --- the service surface ----------------------------------------------------
+    def suggest(self, count=1):
+        """New pending trials chosen by the bound algorithm."""
+        suggestions = []
+        for _ in range(count):
+            parameters = self.algorithm.propose(self)
+            self.space.validate(parameters)
+            trial = Trial(trial_id=len(self.trials) + 1, parameters=parameters)
+            self.trials.append(trial)
+            suggestions.append(trial)
+        return suggestions
+
+    def completed_trials(self, feasible_only=True):
+        return [t for t in self.trials
+                if t.completed and not (feasible_only and t.infeasible)]
+
+    def metric_tuple(self, trial):
+        return tuple(g.canonical(trial.metrics[g.name]) for g in self.goals)
+
+    def best_trial(self):
+        """Single-objective best (first goal) among feasible trials."""
+        trials = self.completed_trials()
+        if not trials:
+            return None
+        return min(trials, key=lambda t: self.metric_tuple(t)[0])
+
+    def optimal_trials(self):
+        """Pareto-optimal feasible trials across all goals."""
+        return pareto_front(self.completed_trials(), key=self.metric_tuple)
+
+    def run(self, evaluate, budget, batch=1):
+        """Convenience loop: suggest -> evaluate -> complete, ``budget`` times.
+
+        ``evaluate(parameters)`` returns a metrics dict, or None for an
+        infeasible point (e.g. the design does not fit the FPGA).
+        """
+        remaining = budget
+        while remaining > 0:
+            for trial in self.suggest(min(batch, remaining)):
+                metrics = evaluate(trial.parameters)
+                if metrics is None:
+                    trial.complete(infeasible=True)
+                else:
+                    trial.complete(metrics)
+                remaining -= 1
+        return self

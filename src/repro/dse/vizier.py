@@ -1,0 +1,138 @@
+"""The Vizier *service* facade: study management the way OSS Vizier does.
+
+The paper bundles "the open source version of Vizier, a black-box
+optimization service".  :mod:`repro.dse.study` provides the optimizer;
+this module provides the service shape around it — named studies owned
+by clients, concurrent client suggestion streams, early stopping, and
+study listing — so code written against the OSS Vizier client maps
+one-to-one.
+
+>>> service = VizierService()
+>>> study = service.create_study(
+...     owner="cfu-playground", study_id="kws-latency",
+...     space=vexriscv_space(), goals=["cycles"])   # doctest: +SKIP
+>>> client = service.client(study.resource_name, worker_id="worker-0")
+>>> for _ in range(10):
+...     trial = client.suggest()
+...     client.complete(trial, {"cycles": evaluate(trial.parameters)})
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .study import MetricGoal, Study
+
+
+class VizierError(RuntimeError):
+    pass
+
+
+@dataclass
+class StudyRecord:
+    resource_name: str
+    owner: str
+    study_id: str
+    study: Study
+    state: str = "ACTIVE"
+    workers: set = field(default_factory=set)
+
+
+class StudyClient:
+    """A worker's handle on a study (OSS Vizier's ``StudyClient``)."""
+
+    def __init__(self, record, worker_id):
+        self._record = record
+        self.worker_id = worker_id
+        self._pending = {}
+
+    @property
+    def resource_name(self):
+        return self._record.resource_name
+
+    def suggest(self, count=1):
+        if self._record.state != "ACTIVE":
+            raise VizierError(f"study {self.resource_name} is "
+                              f"{self._record.state}")
+        trials = self._record.study.suggest(count)
+        for trial in trials:
+            self._pending[trial.trial_id] = trial
+        return trials if count > 1 else trials[0]
+
+    def complete(self, trial, metrics=None, infeasible=False):
+        if trial.trial_id not in self._pending:
+            raise VizierError(
+                f"trial {trial.trial_id} is not pending for {self.worker_id}"
+            )
+        trial.complete(metrics, infeasible=infeasible)
+        del self._pending[trial.trial_id]
+        return trial
+
+    def optimal_trials(self):
+        return self._record.study.optimal_trials()
+
+    def trials(self):
+        return list(self._record.study.trials)
+
+
+class VizierService:
+    """An in-process optimization service holding many studies."""
+
+    def __init__(self):
+        self._studies = {}
+
+    @staticmethod
+    def _resource_name(owner, study_id):
+        return f"owners/{owner}/studies/{study_id}"
+
+    def create_study(self, owner, study_id, space, goals, algorithm=None,
+                     seed=0):
+        name = self._resource_name(owner, study_id)
+        if name in self._studies:
+            raise VizierError(f"study {name} already exists")
+        study = Study(space=space,
+                      goals=[g if isinstance(g, MetricGoal) else MetricGoal(g)
+                             for g in goals],
+                      algorithm=algorithm, name=study_id, seed=seed)
+        record = StudyRecord(resource_name=name, owner=owner,
+                             study_id=study_id, study=study)
+        self._studies[name] = record
+        return record
+
+    def get_study(self, resource_name):
+        try:
+            return self._studies[resource_name]
+        except KeyError:
+            raise VizierError(f"no study {resource_name}") from None
+
+    def client(self, resource_name, worker_id="worker-0"):
+        record = self.get_study(resource_name)
+        record.workers.add(worker_id)
+        return StudyClient(record, worker_id)
+
+    def list_studies(self, owner=None):
+        return [record for record in self._studies.values()
+                if owner is None or record.owner == owner]
+
+    def stop_study(self, resource_name):
+        self.get_study(resource_name).state = "STOPPED"
+
+    def delete_study(self, resource_name):
+        self.get_study(resource_name)
+        del self._studies[resource_name]
+
+    def should_stop_early(self, resource_name, patience=20):
+        """Simple early-stopping policy: no best-trial improvement within
+        the last ``patience`` completed trials."""
+        record = self.get_study(resource_name)
+        study = record.study
+        completed = study.completed_trials()
+        if len(completed) <= patience:
+            return False
+        best_value = None
+        best_index = 0
+        for index, trial in enumerate(completed):
+            value = study.metric_tuple(trial)[0]
+            if best_value is None or value < best_value:
+                best_value, best_index = value, index
+        return len(completed) - 1 - best_index >= patience

@@ -1,0 +1,6 @@
+"""System emulation: Renode-style ISA+RTL co-simulation and VCD capture."""
+
+from .renode import Emulator
+from .waveform import VcdWriter, capture_cfu_waveform
+
+__all__ = ["Emulator", "VcdWriter", "capture_cfu_waveform"]

@@ -1,0 +1,80 @@
+"""Renode-style whole-system emulation.
+
+"Renode performs ISA simulation of the CPU, combined with cycle-accurate
+Verilog simulation of the CFU.  It also simulates the RAM, ROM, and
+UART" (Section II-E).  :class:`Emulator` assembles exactly that: the
+RV32IM machine executing against a SoC bus (RAM regions + CSR-mapped
+peripherals, UART included) with the CFU realized either as gateware in
+the cycle-accurate RTL simulator or as the software emulation model —
+the swap the paper uses for debugging.
+"""
+
+from __future__ import annotations
+
+from ..cfu.interface import CfuModel
+from ..cfu.rtl import RtlCfu, RtlCfuAdapter
+from ..cpu.assembler import assemble
+from ..cpu.machine import Machine
+from ..cpu.timing import VexTiming
+from ..soc.soc import Soc
+
+
+class Emulator:
+    """A SoC + CPU + optional CFU, ready to run programs."""
+
+    def __init__(self, soc, cfu=None, with_timing=True):
+        if not isinstance(soc, Soc):
+            raise TypeError("Emulator requires a Soc")
+        self.soc = soc
+        self.bus = soc.bus()
+        if isinstance(cfu, RtlCfu):
+            cfu = RtlCfuAdapter(cfu)  # cycle-accurate gateware simulation
+        if cfu is not None and not isinstance(cfu, (CfuModel, RtlCfuAdapter)):
+            raise TypeError("cfu must be a CfuModel or RtlCfu(-Adapter)")
+        self.cfu = cfu
+        timing = (VexTiming(soc.cpu_config, soc.memory_map)
+                  if with_timing else None)
+        self.machine = Machine(memory=self.bus, cfu=cfu, timing=timing)
+
+    # --- program loading -------------------------------------------------------
+    def load_binary(self, blob, region="sram", offset=0):
+        base = self.soc.memory_map.get(region).base + offset
+        self.bus.load_bytes(base, blob)
+        self.machine.pc = base
+        return base
+
+    def load_assembly(self, source, region="sram", offset=0):
+        base = self.soc.memory_map.get(region).base + offset
+        code, symbols = assemble(source, origin=base)
+        self.bus.load_bytes(base, code)
+        self.machine.pc = base
+        return symbols
+
+    # --- execution ---------------------------------------------------------------
+    def run(self, max_instructions=5_000_000):
+        return self.machine.run(max_instructions)
+
+    @property
+    def cycles(self):
+        return self.machine.cycles
+
+    @property
+    def uart_output(self):
+        return self.soc.peripheral("uart").text()
+
+    def swap_cfu(self, cfu):
+        """Swap gateware for software emulation (or vice versa) in place —
+        the Section II-E debugging technique."""
+        if isinstance(cfu, RtlCfu):
+            cfu = RtlCfuAdapter(cfu)
+        self.cfu = cfu
+        self.machine.cfu = cfu
+        return self
+
+
+def uart_putc_assembly(csr_address):
+    """Assembly snippet: write a0's low byte to the UART TX register."""
+    return f"""
+        li t5, {csr_address}
+        sw a0, 0(t5)
+    """

@@ -1,0 +1,11 @@
+"""Kernel variants: reference cost models and the optimization ladders."""
+
+from .api import KernelVariant, VariantSet
+from .conv1x1 import LADDER_VARIANTS
+from .kws import KwsSimdConv2D, KwsSimdDepthwise, kws_variants
+from .reference import reference_variants
+
+__all__ = [
+    "KernelVariant", "KwsSimdConv2D", "KwsSimdDepthwise", "LADDER_VARIANTS",
+    "VariantSet", "kws_variants", "reference_variants",
+]

@@ -1,0 +1,37 @@
+"""Model zoo: the paper's workloads with deterministic synthetic weights."""
+
+from functools import lru_cache
+
+from .autoencoder_ad import build_autoencoder_ad
+from .dscnn_kws import build_dscnn_kws
+from .mobilenet_v1_vww import build_mobilenet_v1_vww
+from .mobilenet_v2 import build_mobilenet_v2, conv_1x1_ops
+from .resnet_ic import build_resnet8_ic
+
+ZOO = {
+    "mobilenet_v2": build_mobilenet_v2,
+    "dscnn_kws": build_dscnn_kws,
+    "resnet8_ic": build_resnet8_ic,
+    "autoencoder_ad": build_autoencoder_ad,
+    "mobilenet_v1_vww": build_mobilenet_v1_vww,
+}
+
+
+@lru_cache(maxsize=None)
+def load(name, **kwargs):
+    """Build (and memoize) a zoo model by name."""
+    if name not in ZOO:
+        raise KeyError(f"unknown model {name!r}; available: {sorted(ZOO)}")
+    return ZOO[name](**kwargs)
+
+
+__all__ = [
+    "ZOO",
+    "build_autoencoder_ad",
+    "build_dscnn_kws",
+    "build_mobilenet_v1_vww",
+    "build_mobilenet_v2",
+    "build_resnet8_ic",
+    "conv_1x1_ops",
+    "load",
+]

@@ -1,0 +1,21 @@
+"""Deep autoencoder anomaly detection — MLPerf Tiny AD reference topology.
+
+Fully-connected 640 -> 128x4 -> 8 -> 128x4 -> 640 over machine-sound
+spectrogram frames (ToyADMOS).
+"""
+
+from __future__ import annotations
+
+from ..tflm.builder import ModelBuilder
+
+
+def build_autoencoder_ad(input_features=640, seed=13):
+    b = ModelBuilder("autoencoder_ad", seed=seed)
+    b.input((1, input_features))
+    for layer in range(4):
+        b.fully_connected(128, relu=True, name=f"enc_{layer}")
+    b.fully_connected(8, relu=True, name="bottleneck")
+    for layer in range(4):
+        b.fully_connected(128, relu=True, name=f"dec_{layer}")
+    b.fully_connected(input_features, relu=False, name="reconstruction")
+    return b.build()

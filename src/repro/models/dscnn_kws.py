@@ -1,0 +1,26 @@
+"""DS-CNN keyword spotting — the MLPerf Tiny KWS workload (Section III-B).
+
+Depthwise-separable CNN over 49x10 MFCC features, 12 keyword classes,
+matching the MLPerf Tiny reference topology: one 10x4 strided standard
+convolution followed by four depthwise-separable blocks of 64 channels.
+"""
+
+from __future__ import annotations
+
+from ..tflm.builder import ModelBuilder
+
+
+def build_dscnn_kws(num_classes=12, num_filters=64, seed=7):
+    b = ModelBuilder("dscnn_kws", seed=seed)
+    b.input((1, 49, 10, 1))
+    b.conv2d(num_filters, (10, 4), stride=(2, 2), padding="same",
+             name="conv_1")
+    for block in range(1, 5):
+        b.depthwise_conv2d((3, 3), stride=1, padding="same",
+                           name=f"dw_conv_{block}")
+        b.conv2d(num_filters, 1, padding="same", name=f"pw_conv_{block}")
+    b.average_pool(name="global_pool")
+    b.reshape((1, num_filters), name="flatten")
+    b.fully_connected(num_classes, name="classifier")
+    b.softmax(name="softmax")
+    return b.build()

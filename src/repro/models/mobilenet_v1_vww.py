@@ -1,0 +1,28 @@
+"""MobileNetV1 0.25 — MLPerf Tiny visual wake words reference topology."""
+
+from __future__ import annotations
+
+from ..tflm.builder import ModelBuilder
+
+# (stride, output channels) per depthwise-separable block at alpha = 1.0.
+_BLOCKS = (
+    (1, 64), (2, 128), (1, 128), (2, 256), (1, 256),
+    (2, 512), (1, 512), (1, 512), (1, 512), (1, 512), (1, 512),
+    (2, 1024), (1, 1024),
+)
+
+
+def build_mobilenet_v1_vww(input_size=96, alpha=0.25, num_classes=2, seed=17):
+    b = ModelBuilder(f"mobilenet_v1_{alpha}_vww", seed=seed)
+    b.input((1, input_size, input_size, 3))
+    b.conv2d(max(8, int(32 * alpha)), 3, stride=2, name="stem")
+    for index, (stride, channels) in enumerate(_BLOCKS):
+        channels = max(8, int(channels * alpha))
+        b.depthwise_conv2d((3, 3), stride=stride, name=f"dw_{index}")
+        b.conv2d(channels, 1, name=f"pw_{index}")
+    b.average_pool(name="global_pool")
+    final_ch = max(8, int(1024 * alpha))
+    b.reshape((1, final_ch), name="flatten")
+    b.fully_connected(num_classes, name="classifier")
+    b.softmax(name="softmax")
+    return b.build()

@@ -1,0 +1,46 @@
+"""ResNet-8 image classification — MLPerf Tiny IC reference topology.
+
+Three residual stacks (16/32/64 channels) over 32x32x3 CIFAR-10 images.
+Bundled because CFU Playground ships the MLPerf Tiny model set for
+benchmarking (Section II-E).
+"""
+
+from __future__ import annotations
+
+from ..tflm.builder import ModelBuilder
+
+
+def build_resnet8_ic(num_classes=10, seed=11):
+    b = ModelBuilder("resnet8_ic", seed=seed)
+    b.input((1, 32, 32, 3))
+    b.conv2d(16, 3, name="stem")
+
+    # Stack 1: identity residual, 16 channels.
+    skip = b.tip
+    b.conv2d(16, 3, name="s1_conv1")
+    b.conv2d(16, 3, relu=False, name="s1_conv2")
+    b.add(skip, relu=True, name="s1_add")
+
+    # Stack 2: downsample to 32 channels with a 1x1 projection shortcut.
+    trunk_in = b.tip
+    b.conv2d(32, 3, stride=2, name="s2_conv1")
+    b.conv2d(32, 3, relu=False, name="s2_conv2")
+    main = b.tip
+    b.tip = trunk_in
+    b.conv2d(32, 1, stride=2, relu=False, name="s2_shortcut")
+    b.add(main, relu=True, name="s2_add")
+
+    # Stack 3: downsample to 64 channels.
+    trunk_in = b.tip
+    b.conv2d(64, 3, stride=2, name="s3_conv1")
+    b.conv2d(64, 3, relu=False, name="s3_conv2")
+    main = b.tip
+    b.tip = trunk_in
+    b.conv2d(64, 1, stride=2, relu=False, name="s3_shortcut")
+    b.add(main, relu=True, name="s3_add")
+
+    b.average_pool(name="global_pool")
+    b.reshape((1, 64), name="flatten")
+    b.fully_connected(num_classes, name="classifier")
+    b.softmax(name="softmax")
+    return b.build()

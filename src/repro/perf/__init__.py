@@ -1,0 +1,37 @@
+"""Performance modeling: caches, memory technologies, cost/energy models,
+the whole-model estimator, and the Cortex-M4/CMSIS-NN comparator."""
+
+from .cache import Cache, expected_miss_rate
+from .cost import CostBreakdown, CostContext, SystemConfig
+from .energy import (
+    ENERGY_PER_EVENT_NJ,
+    EnergyBreakdown,
+    EnergyModel,
+    energy_per_inference,
+    static_power_mw,
+)
+from .estimator import (
+    FrameworkOverhead,
+    InferenceEstimate,
+    OpCost,
+    estimate_inference,
+)
+from .memories import (
+    BLOCK_RAM,
+    DDR3,
+    ON_CHIP_SRAM,
+    QSPI_FLASH,
+    SPI_FLASH,
+    MemoryMap,
+    MemoryRegion,
+    MemoryTech,
+)
+
+__all__ = [
+    "BLOCK_RAM", "Cache", "CostBreakdown", "CostContext", "DDR3",
+    "ENERGY_PER_EVENT_NJ", "EnergyBreakdown", "EnergyModel",
+    "FrameworkOverhead", "InferenceEstimate", "MemoryMap", "MemoryRegion",
+    "MemoryTech", "ON_CHIP_SRAM", "OpCost", "QSPI_FLASH", "SPI_FLASH",
+    "SystemConfig", "energy_per_inference", "estimate_inference",
+    "expected_miss_rate", "static_power_mw",
+]

@@ -1,0 +1,89 @@
+"""Set-associative cache models (true LRU) used by the CPU timing model.
+
+These are trace-driven models: every access updates tag state and
+reports hit/miss.  The analytic loop-nest cost model
+(:mod:`repro.perf.cost`) uses closed-form miss estimates instead, but is
+validated against these models in the test suite.
+"""
+
+from __future__ import annotations
+
+
+class Cache:
+    """A size/ways/line-parameterised cache with LRU replacement."""
+
+    def __init__(self, size_bytes, ways=1, line_bytes=32, name="cache"):
+        if size_bytes <= 0:
+            raise ValueError("cache size must be positive; use None for no cache")
+        if size_bytes % (ways * line_bytes):
+            raise ValueError("cache size must be a multiple of ways * line size")
+        self.size_bytes = size_bytes
+        self.ways = ways
+        self.line_bytes = line_bytes
+        self.name = name
+        self.num_sets = size_bytes // (ways * line_bytes)
+        self.hits = 0
+        self.misses = 0
+        # Each set is an ordered list of tags, most recently used last.
+        self._sets = [[] for _ in range(self.num_sets)]
+
+    def access(self, addr, write=False):
+        """Touch ``addr``; returns True on hit.  Write-allocate policy."""
+        line = addr // self.line_bytes
+        index = line % self.num_sets
+        tag = line // self.num_sets
+        tags = self._sets[index]
+        if tag in tags:
+            tags.remove(tag)
+            tags.append(tag)
+            self.hits += 1
+            return True
+        self.misses += 1
+        tags.append(tag)
+        if len(tags) > self.ways:
+            tags.pop(0)
+        return False
+
+    def flush(self):
+        for tags in self._sets:
+            tags.clear()
+
+    def reset_stats(self):
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def accesses(self):
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self):
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def __repr__(self):
+        return (
+            f"Cache({self.name}: {self.size_bytes}B, {self.ways}-way, "
+            f"{self.line_bytes}B lines)"
+        )
+
+
+def expected_miss_rate(footprint_bytes, cache_size_bytes, line_bytes=32,
+                       accesses_per_byte=1.0):
+    """Closed-form steady-state miss-rate estimate for a looping footprint.
+
+    A loop repeatedly touching ``footprint_bytes`` of memory through a
+    cache of ``cache_size_bytes``: if the footprint fits, only cold
+    misses remain (≈0 in steady state); once it exceeds the capacity the
+    miss rate ramps toward one miss per line of traffic.  The soft ramp
+    (fits at <=75% of capacity, fully thrashing at 2x) reflects conflict
+    misses in low-associativity caches.
+    """
+    if cache_size_bytes <= 0:
+        return 1.0
+    per_line_rate = 1.0 / (line_bytes * accesses_per_byte)
+    ratio = footprint_bytes / cache_size_bytes
+    if ratio <= 0.75:
+        return 0.0
+    if ratio >= 2.0:
+        return per_line_rate
+    return per_line_rate * (ratio - 0.75) / 1.25

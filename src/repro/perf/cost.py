@@ -1,0 +1,251 @@
+"""Analytic cycle accounting for kernel loop nests.
+
+Whole-model inference on the paper's platforms runs for 10^8-10^9
+cycles — far beyond what a Python instruction-set simulator can step
+through.  Instead, each kernel variant describes its loop nest by
+calling the primitives of a :class:`CostContext` (so many ALU ops, loads
+with a given locality, multiplies, CFU issues per iteration), and the
+context converts the counts into cycles using the *same* unit costs as
+the instruction-level :class:`~repro.cpu.timing.VexTiming` model.  Unit
+tests cross-check the two on reduced shapes.
+
+Every primitive also counts one fetched instruction; :meth:`finish`
+converts the instruction total into fetch stalls based on where the code
+lives (flash XIP vs SRAM) and the instruction cache — this is what makes
+the KWS memory-system ladder (QuadSPI, sections-to-SRAM, larger icache)
+fall out of the model mechanistically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cpu.timing import ITERATIVE_DIV_CYCLES, ITERATIVE_MUL_CYCLES, SOFT_DIV_CYCLES
+from ..cpu.vexriscv import VexRiscvConfig
+from .cache import expected_miss_rate
+from .memories import MemoryMap
+
+#: Average taken-branch rate of loop-closing branches.
+_LOOP_TAKEN = 0.95
+
+
+@dataclass
+class SystemConfig:
+    """Everything that determines cycle costs: CPU + memory + placement.
+
+    ``placement`` maps linker sections to region names:
+
+    - ``"text"``        — framework / runtime code (TFLM interpreter, libc)
+    - ``"kernel_text"`` — the hot kernel loops (moved to SRAM in III-B)
+    - ``"model_weights"`` — filter/bias constants (.rodata)
+    - ``"arena"``       — activation arena (always RAM)
+    """
+
+    cpu: VexRiscvConfig
+    memory_map: MemoryMap
+    placement: dict
+    clock_hz: int = 75_000_000
+    line_bytes: int = 32
+
+    def region(self, section):
+        return self.memory_map.get(self.placement[section])
+
+    def with_placement(self, **updates):
+        placement = dict(self.placement)
+        placement.update(updates)
+        return SystemConfig(self.cpu, self.memory_map, placement,
+                            self.clock_hz, self.line_bytes)
+
+    def seconds(self, cycles):
+        return cycles / self.clock_hz
+
+
+@dataclass
+class CostBreakdown:
+    """Cycle totals by cause, for profiler reports."""
+
+    compute: float = 0.0
+    memory: float = 0.0
+    fetch: float = 0.0
+    cfu: float = 0.0
+    control: float = 0.0
+
+    @property
+    def total(self):
+        return self.compute + self.memory + self.fetch + self.cfu + self.control
+
+    def __add__(self, other):
+        return CostBreakdown(
+            self.compute + other.compute, self.memory + other.memory,
+            self.fetch + other.fetch, self.cfu + other.cfu,
+            self.control + other.control,
+        )
+
+
+class CostContext:
+    """Accumulates cycles for one kernel invocation."""
+
+    def __init__(self, system, code_section="kernel_text"):
+        self.system = system
+        self.code_section = code_section
+        self.instructions = 0.0
+        self.breakdown = CostBreakdown()
+        cpu = system.cpu
+        # Interlock penalty folded in per instruction class: a CPU without
+        # operand bypassing stalls on most back-to-back dependencies.
+        self._dep_stall = 0.0 if cpu.bypassing else 2.0
+        self._load_use = 0.5 if cpu.bypassing else 3.0
+
+    # --- compute primitives ------------------------------------------------------
+    def alu(self, n=1):
+        self.instructions += n
+        self.breakdown.compute += n * (1 + self._dep_stall)
+
+    def mul(self, n=1):
+        cpu = self.system.cpu
+        if cpu.multiplier == "single_cycle":
+            per = 1
+        elif cpu.multiplier == "iterative":
+            per = ITERATIVE_MUL_CYCLES
+        else:
+            # No multiplier: ~40-instruction shift-add software emulation.
+            self.alu(n * 40)
+            self.branch(n * 8, taken=0.5, predictable=False)
+            return
+        self.instructions += n
+        self.breakdown.compute += n * (per + self._dep_stall)
+
+    def div(self, n=1):
+        cpu = self.system.cpu
+        per = (ITERATIVE_DIV_CYCLES if cpu.divider == "iterative"
+               else SOFT_DIV_CYCLES)
+        self.instructions += n
+        self.breakdown.compute += n * per
+
+    def shift(self, n=1, amount=8):
+        cpu = self.system.cpu
+        per = 1 if cpu.shifter == "barrel" else 1 + amount
+        self.instructions += n
+        self.breakdown.compute += n * (per + self._dep_stall)
+
+    # --- control flow -------------------------------------------------------------
+    def branch(self, n=1, taken=_LOOP_TAKEN, predictable=True):
+        cpu = self.system.cpu
+        penalty = cpu.mispredict_penalty
+        bp = cpu.branch_prediction
+        if bp == "none":
+            mispredict_rate = taken  # predicted not-taken
+            redirect = 0.0
+        elif bp == "static":
+            # Loop-closing branches are backward: correctly predicted.
+            mispredict_rate = (1 - taken) if predictable else 0.4
+            redirect = taken  # target computed in decode: 1-cycle bubble
+        elif bp == "dynamic":
+            mispredict_rate = 0.05 if predictable else 0.25
+            redirect = taken
+        else:  # dynamic_target: BTB supplies the target
+            mispredict_rate = 0.05 if predictable else 0.25
+            redirect = 0.0
+        per = 1 + mispredict_rate * penalty + redirect
+        self.instructions += n
+        self.breakdown.control += n * per
+
+    def call(self, n=1):
+        """A function call + return pair (jal/jalr bubbles included)."""
+        self.instructions += 2 * n
+        self.breakdown.control += n * 5
+
+    # --- memory --------------------------------------------------------------------
+    def load(self, n, size=1, section="arena", pattern="seq", footprint=None):
+        """``n`` loads of ``size`` bytes from a section.
+
+        pattern: ``"hit"`` — always cache/SRAM hit; ``"seq"`` — streaming
+        (one miss per cache line); ``"rand"`` — no spatial locality.
+        ``footprint`` (bytes) enables the capacity estimate: a loop whose
+        working set fits in the data cache stops missing.
+        """
+        self.instructions += n
+        self.breakdown.memory += n * (1 + self._load_use)
+        self.breakdown.memory += self._miss_cycles(n, size, section, pattern,
+                                                   footprint)
+
+    def store(self, n, size=1, section="arena", pattern="seq"):
+        self.instructions += n
+        region = self.system.region(section)
+        cpu = self.system.cpu
+        if cpu.has_dcache and region.cacheable:
+            # Write-through with a write buffer: mostly 1 cycle.
+            self.breakdown.memory += n * 1.2
+        else:
+            self.breakdown.memory += n * region.tech.write_latency
+
+    def _miss_cycles(self, n, size, section, pattern, footprint):
+        region = self.system.region(section)
+        cpu = self.system.cpu
+        line = self.system.line_bytes
+        fill = region.tech.line_fill_cycles(line)
+        if cpu.has_dcache and region.cacheable:
+            if pattern == "hit":
+                return 0.0
+            if pattern == "rand":
+                rate = 1.0 if footprint is None else expected_miss_rate(
+                    footprint, cpu.dcache_bytes, line, accesses_per_byte=1 / line
+                )
+                return n * rate * fill
+            #
+
+            # Streaming: one miss per line of traffic, unless the loop's
+            # working set fits in the cache (then only cold misses remain).
+            if footprint is not None and footprint <= 0.75 * cpu.dcache_bytes:
+                return 0.0
+            return n * (size / line) * fill
+        # Uncached access pays the device latency every time (the word is
+        # as wide as the bus, so byte loads still cost a word transaction).
+        extra = region.tech.first_word_latency - 1
+        return n * extra
+
+    # --- CFU -----------------------------------------------------------------------
+    def cfu(self, n, latency=1, ii=None):
+        """``n`` custom instructions with given latency / initiation interval."""
+        if ii is None:
+            ii = latency
+        self.instructions += n
+        self.breakdown.cfu += n * max(ii, 1) + max(0, latency - ii)
+
+    def cfu_busy(self, cycles):
+        """CPU waits while the CFU runs autonomously (blocking run)."""
+        self.breakdown.cfu += cycles
+
+    #: Snapshot of the most recently finished context (single-threaded
+    #: estimation hook: the estimator reads these right after calling a
+    #: variant's ``cycles()`` so the profiler and energy model see the
+    #: per-category split without changing the variant protocol).
+    last_breakdown = None
+    last_instructions = 0.0
+
+    # --- finalization ------------------------------------------------------------
+    def finish(self, loop_footprint_bytes=256):
+        """Charge instruction-fetch stalls and return total cycles."""
+        region = self.system.region(self.code_section)
+        cpu = self.system.cpu
+        line = self.system.line_bytes
+        if cpu.has_icache and region.cacheable:
+            # Straight-line code touches each 32-bit word once per pass:
+            # 0.25 accesses per byte, i.e. at most one miss per 8 fetches.
+            rate = expected_miss_rate(
+                loop_footprint_bytes, cpu.icache_bytes, line,
+                accesses_per_byte=0.25,
+            )
+            per_instr = rate * region.tech.line_fill_cycles(line)
+        elif region.tech.first_word_latency <= 1:
+            per_instr = 0.0
+        else:
+            per_instr = region.tech.first_word_latency - 1
+        self.breakdown.fetch += self.instructions * per_instr
+        CostContext.last_breakdown = self.breakdown
+        CostContext.last_instructions = self.instructions
+        return self.breakdown.total
+
+    @property
+    def cycles(self):
+        return self.breakdown.total

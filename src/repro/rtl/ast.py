@@ -1,0 +1,364 @@
+"""Expression AST for the RTL DSL.
+
+This is a compact, nMigen-flavoured hardware expression language.  Every
+expression node is a :class:`Value` with a bit ``width`` and a ``signed``
+flag.  Values are built with ordinary Python operators and evaluated by
+the simulator (:mod:`repro.rtl.sim`), costed by the resource estimator
+(:mod:`repro.rtl.synth`), and printed by the Verilog emitter
+(:mod:`repro.rtl.verilog`).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+
+def _mask(width):
+    return (1 << width) - 1
+
+
+def to_signed(value, width):
+    """Interpret an unsigned bit pattern as a two's-complement integer."""
+    value &= _mask(width)
+    if value & (1 << (width - 1)):
+        return value - (1 << width)
+    return value
+
+
+def to_unsigned(value, width):
+    """Truncate a Python integer to an unsigned bit pattern."""
+    return value & _mask(width)
+
+
+class Value:
+    """Base class for every RTL expression node."""
+
+    width = 1
+    signed = False
+
+    # --- construction helpers -------------------------------------------------
+    @staticmethod
+    def wrap(obj):
+        if isinstance(obj, Value):
+            return obj
+        if isinstance(obj, bool):
+            return Const(int(obj), 1)
+        if isinstance(obj, int):
+            return Const(obj)
+        raise TypeError(f"cannot use {obj!r} as an RTL value")
+
+    # --- arithmetic -----------------------------------------------------------
+    def __add__(self, other):
+        return Operator("+", [self, Value.wrap(other)])
+
+    def __radd__(self, other):
+        return Operator("+", [Value.wrap(other), self])
+
+    def __sub__(self, other):
+        return Operator("-", [self, Value.wrap(other)])
+
+    def __rsub__(self, other):
+        return Operator("-", [Value.wrap(other), self])
+
+    def __mul__(self, other):
+        return Operator("*", [self, Value.wrap(other)])
+
+    def __rmul__(self, other):
+        return Operator("*", [Value.wrap(other), self])
+
+    # --- bitwise --------------------------------------------------------------
+    def __and__(self, other):
+        return Operator("&", [self, Value.wrap(other)])
+
+    def __rand__(self, other):
+        return Operator("&", [Value.wrap(other), self])
+
+    def __or__(self, other):
+        return Operator("|", [self, Value.wrap(other)])
+
+    def __ror__(self, other):
+        return Operator("|", [Value.wrap(other), self])
+
+    def __xor__(self, other):
+        return Operator("^", [self, Value.wrap(other)])
+
+    def __rxor__(self, other):
+        return Operator("^", [Value.wrap(other), self])
+
+    def __invert__(self):
+        return Operator("~", [self])
+
+    def __neg__(self):
+        return Operator("neg", [self])
+
+    def __lshift__(self, other):
+        return Operator("<<", [self, Value.wrap(other)])
+
+    def __rshift__(self, other):
+        return Operator(">>", [self, Value.wrap(other)])
+
+    # --- comparisons (return 1-bit values) -------------------------------------
+    def __eq__(self, other):  # noqa: D105 - hardware equality, returns a Value
+        return Operator("==", [self, Value.wrap(other)])
+
+    def __ne__(self, other):
+        return Operator("!=", [self, Value.wrap(other)])
+
+    def __lt__(self, other):
+        return Operator("<", [self, Value.wrap(other)])
+
+    def __le__(self, other):
+        return Operator("<=", [self, Value.wrap(other)])
+
+    def __gt__(self, other):
+        return Operator(">", [self, Value.wrap(other)])
+
+    def __ge__(self, other):
+        return Operator(">=", [self, Value.wrap(other)])
+
+    __hash__ = object.__hash__
+
+    # --- structural helpers -----------------------------------------------------
+    def __getitem__(self, item):
+        if isinstance(item, slice):
+            start, stop, step = item.indices(self.width)
+            if step != 1:
+                raise ValueError("slices of RTL values must have step 1")
+            return Slice(self, start, stop)
+        if isinstance(item, int):
+            if item < 0:
+                item += self.width
+            if not 0 <= item < self.width:
+                raise IndexError(f"bit {item} out of range for width {self.width}")
+            return Slice(self, item, item + 1)
+        raise TypeError(f"cannot index RTL value with {item!r}")
+
+    def __len__(self):
+        return self.width
+
+    def bool(self):
+        """Reduce to a single bit: 1 iff any bit is set."""
+        return Operator("b", [self])
+
+    def any(self):
+        return self.bool()
+
+    def all(self):
+        return Operator("r&", [self])
+
+    def xor(self):
+        return Operator("r^", [self])
+
+    def as_signed(self):
+        return Reinterpret(self, signed=True)
+
+    def as_unsigned(self):
+        return Reinterpret(self, signed=False)
+
+    def eq(self, other):
+        """Create an assignment statement ``self <= other`` (for m.d.* lists)."""
+        from .dsl import Assign
+
+        return Assign(self, Value.wrap(other))
+
+    # --- traversal ---------------------------------------------------------------
+    def operands(self):
+        """Child values, for netlist walks."""
+        return ()
+
+
+class Const(Value):
+    """A constant value with an optional explicit width."""
+
+    def __init__(self, value, width=None, signed=None):
+        value = int(value)
+        if signed is None:
+            signed = value < 0
+        if width is None:
+            width = max(1, value.bit_length() + (1 if signed else 0))
+        self.value = to_unsigned(value, width)
+        self.width = width
+        self.signed = signed
+
+    def __repr__(self):
+        return f"(const {self.value}w{self.width})"
+
+
+class Signal(Value):
+    """A named wire or register.
+
+    A signal becomes a register iff it is assigned in the ``sync`` domain
+    of some module; otherwise it is combinational.
+    """
+
+    _name_counter = itertools.count()
+
+    def __init__(self, width=1, name=None, reset=0, signed=False):
+        if isinstance(width, range):
+            # Signal(range(n)) convenience, like nMigen.
+            span = max(abs(width.start), abs(width.stop - 1), 1)
+            signed = signed or width.start < 0 or width.stop - 1 < 0
+            width = span.bit_length() + (1 if signed else 0)
+        if width < 1:
+            raise ValueError("signal width must be >= 1")
+        self.width = int(width)
+        self.signed = bool(signed)
+        self.name = name or f"sig{next(Signal._name_counter)}"
+        self.reset = to_unsigned(int(reset), self.width)
+
+    def __repr__(self):
+        return f"(sig {self.name}w{self.width})"
+
+    @staticmethod
+    def like(other, name=None):
+        return Signal(other.width, name=name, signed=other.signed)
+
+
+class Operator(Value):
+    """An n-ary operator applied to value operands."""
+
+    _COMPARES = {"==", "!=", "<", "<=", ">", ">="}
+    _REDUCES = {"b", "r&", "r^"}
+
+    def __init__(self, op, operands):
+        self.op = op
+        self.ops = [Value.wrap(o) for o in operands]
+        self.width, self.signed = self._shape()
+
+    def _shape(self):
+        op, ops = self.op, self.ops
+        if op in self._COMPARES or op in self._REDUCES:
+            return 1, False
+        if op == "~" or op == "neg":
+            return ops[0].width + (1 if op == "neg" else 0), ops[0].signed
+        if op == "+" or op == "-":
+            return max(ops[0].width, ops[1].width) + 1, ops[0].signed or ops[1].signed
+        if op == "*":
+            return ops[0].width + ops[1].width, ops[0].signed or ops[1].signed
+        if op == "<<":
+            shift_max = min((1 << ops[1].width) - 1, 64)
+            return ops[0].width + shift_max, ops[0].signed
+        if op == ">>":
+            return ops[0].width, ops[0].signed
+        if op in ("&", "|", "^"):
+            return max(ops[0].width, ops[1].width), ops[0].signed and ops[1].signed
+        raise ValueError(f"unknown operator {op!r}")
+
+    def operands(self):
+        return tuple(self.ops)
+
+    def __repr__(self):
+        return f"({self.op} {' '.join(map(repr, self.ops))})"
+
+
+class Slice(Value):
+    """A bit range ``value[start:stop]`` (always unsigned)."""
+
+    def __init__(self, value, start, stop):
+        if not 0 <= start < stop <= value.width:
+            raise ValueError(f"bad slice [{start}:{stop}] of width {value.width}")
+        self.value = Value.wrap(value)
+        self.start = start
+        self.stop = stop
+        self.width = stop - start
+        self.signed = False
+
+    def operands(self):
+        return (self.value,)
+
+    def __repr__(self):
+        return f"(slice {self.value!r} {self.start}:{self.stop})"
+
+
+class Cat(Value):
+    """Concatenation; first argument is the least significant part."""
+
+    def __init__(self, *parts):
+        if len(parts) == 1 and isinstance(parts[0], (list, tuple)):
+            parts = tuple(parts[0])
+        self.parts = [Value.wrap(p) for p in parts]
+        self.width = sum(p.width for p in self.parts)
+        self.signed = False
+
+    def operands(self):
+        return tuple(self.parts)
+
+    def __repr__(self):
+        return f"(cat {' '.join(map(repr, self.parts))})"
+
+
+class Repl(Value):
+    """Replication of a value ``count`` times."""
+
+    def __init__(self, value, count):
+        self.value = Value.wrap(value)
+        self.count = int(count)
+        self.width = self.value.width * self.count
+        self.signed = False
+
+    def operands(self):
+        return (self.value,)
+
+    def __repr__(self):
+        return f"(repl {self.value!r} x{self.count})"
+
+
+class Mux(Value):
+    """``sel ? if_true : if_false``.
+
+    Shape unification follows nMigen: if either arm is signed the result
+    is signed, and an unsigned arm is widened by one bit so its full
+    range remains representable.
+    """
+
+    def __init__(self, sel, if_true, if_false):
+        self.sel = Value.wrap(sel)
+        self.if_true = Value.wrap(if_true)
+        self.if_false = Value.wrap(if_false)
+        arms = (self.if_true, self.if_false)
+        self.signed = any(arm.signed for arm in arms)
+        if self.signed:
+            self.width = max(
+                arm.width + (0 if arm.signed else 1) for arm in arms
+            )
+        else:
+            self.width = max(arm.width for arm in arms)
+
+    def operands(self):
+        return (self.sel, self.if_true, self.if_false)
+
+    def __repr__(self):
+        return f"(mux {self.sel!r} {self.if_true!r} {self.if_false!r})"
+
+
+class Reinterpret(Value):
+    """Same bits, different signedness."""
+
+    def __init__(self, value, signed):
+        self.value = Value.wrap(value)
+        self.width = self.value.width
+        self.signed = bool(signed)
+
+    def operands(self):
+        return (self.value,)
+
+    def __repr__(self):
+        kind = "signed" if self.signed else "unsigned"
+        return f"(as-{kind} {self.value!r})"
+
+
+def signed(width):
+    """Shape helper: ``Signal(signed(16))`` creates a signed 16-bit signal."""
+    return _SignedShape(width)
+
+
+class _SignedShape:
+    def __init__(self, width):
+        self.width = width
+
+
+def make_signal(shape, **kwargs):
+    """Create a signal from either an int width or a signed() shape."""
+    if isinstance(shape, _SignedShape):
+        return Signal(shape.width, signed=True, **kwargs)
+    return Signal(shape, **kwargs)

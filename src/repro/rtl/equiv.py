@@ -1,0 +1,91 @@
+"""Equivalence checking by co-simulation (a formal-lite verification aid).
+
+Drives two module implementations with identical randomized stimulus and
+compares their observable outputs cycle by cycle — the workhorse check
+when refactoring a CFU (e.g. pipelining a datapath or moving an FSM) and
+wanting confidence that behaviour is preserved.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from .sim import Simulator
+
+
+@dataclass
+class EquivalenceMismatch:
+    cycle: int
+    signal_name: str
+    value_a: int
+    value_b: int
+
+    def __str__(self):
+        return (f"cycle {self.cycle}: {self.signal_name}: "
+                f"a=0x{self.value_a:x} b=0x{self.value_b:x}")
+
+
+@dataclass
+class EquivalenceReport:
+    cycles: int = 0
+    mismatches: list = field(default_factory=list)
+
+    @property
+    def equivalent(self):
+        return not self.mismatches
+
+
+def check_equivalence(module_a, module_b, inputs, outputs, cycles=200,
+                      seed=0, settle_only=False, input_bias=None):
+    """Co-simulate two modules under identical random stimulus.
+
+    ``inputs``/``outputs`` are lists whose items are either a signal
+    shared by both modules, or an ``(a_signal, b_signal)`` pair when the
+    two designs use distinct signal objects.  ``input_bias`` optionally
+    maps a (first) input signal to a callable(rng) producing its value.
+    """
+    def pairs(items):
+        return [item if isinstance(item, tuple) else (item, item)
+                for item in items]
+
+    input_pairs = pairs(inputs)
+    output_pairs = pairs(outputs)
+    sim_a = Simulator(module_a)
+    sim_b = Simulator(module_b)
+    rng = random.Random(seed)
+    report = EquivalenceReport()
+    for cycle in range(cycles):
+        for sig_a, sig_b in input_pairs:
+            generator = (input_bias or {}).get(sig_a)
+            value = (generator(rng) if generator
+                     else rng.getrandbits(sig_a.width))
+            sim_a.poke(sig_a, value)
+            sim_b.poke(sig_b, value)
+        sim_a.settle()
+        sim_b.settle()
+        for sig_a, sig_b in output_pairs:
+            value_a = sim_a.peek(sig_a)
+            value_b = sim_b.peek(sig_b)
+            if value_a != value_b:
+                report.mismatches.append(EquivalenceMismatch(
+                    cycle, sig_a.name, value_a, value_b))
+        if not settle_only:
+            sim_a.tick()
+            sim_b.tick()
+        report.cycles += 1
+        if len(report.mismatches) >= 10:
+            break
+    return report
+
+
+def assert_modules_equivalent(module_a, module_b, inputs, outputs,
+                              cycles=200, seed=0, **kwargs):
+    report = check_equivalence(module_a, module_b, inputs, outputs,
+                               cycles=cycles, seed=seed, **kwargs)
+    if not report.equivalent:
+        shown = "\n".join(str(m) for m in report.mismatches[:5])
+        raise AssertionError(
+            f"modules diverge ({len(report.mismatches)} mismatches):\n{shown}"
+        )
+    return report

@@ -1,0 +1,127 @@
+"""Netlist lint: the quick sanity pass a synthesis flow would shout about.
+
+Checks a module hierarchy for the mistakes that silently break designs:
+
+- **undriven signals** that are read by logic but never assigned in any
+  domain and never registered as memory-port outputs (floating inputs —
+  legitimate only for the module's real input ports, which the caller
+  declares);
+- **unused signals** that are driven but never read (dead logic);
+- **width truncation** where an assignment's right-hand side is wider
+  than its target (often intended, always worth seeing);
+- **multi-domain drivers** (also a hard error in the simulator);
+- **unconditional multiple drivers** in the same domain (last write wins
+  silently — usually a copy-paste bug).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .ast import Signal, Slice
+
+
+@dataclass
+class LintWarning:
+    kind: str
+    signal: str
+    detail: str
+
+    def __str__(self):
+        return f"[{self.kind}] {self.signal}: {self.detail}"
+
+
+@dataclass
+class LintReport:
+    warnings: list = field(default_factory=list)
+
+    def of_kind(self, kind):
+        return [w for w in self.warnings if w.kind == kind]
+
+    @property
+    def clean(self):
+        return not self.warnings
+
+    def __str__(self):
+        if self.clean:
+            return "lint: clean"
+        return "\n".join(str(w) for w in self.warnings)
+
+
+def _walk(value, visit):
+    visit(value)
+    for child in value.operands():
+        _walk(child, visit)
+    if isinstance(value, Slice):
+        _walk(value.value, visit)
+
+
+def lint(module, inputs=()):
+    """Lint a module; ``inputs`` are the signals allowed to be undriven."""
+    inputs = set(inputs)
+    read = set()
+    driven = {}
+    unconditional_writes = {}
+    report = LintReport()
+
+    def note_read(value):
+        if isinstance(value, Signal):
+            read.add(value)
+
+    for domain_name, stmt in module.all_statements():
+        target = stmt.target_signal()
+        driven.setdefault(target, set()).add(domain_name)
+        if stmt.guard is None and not isinstance(stmt.lhs, Slice):
+            count = unconditional_writes.get((target, domain_name), 0)
+            unconditional_writes[(target, domain_name)] = count + 1
+        _walk(stmt.rhs, note_read)
+        if stmt.guard is not None:
+            _walk(stmt.guard, note_read)
+        if stmt.rhs.width > stmt.lhs.width:
+            report.warnings.append(LintWarning(
+                "width-truncation", target.name,
+                f"rhs is {stmt.rhs.width} bits, target takes "
+                f"{stmt.lhs.width}",
+            ))
+
+    memory_outputs = set()
+    for mem in module.all_memories():
+        for rp in mem.read_ports:
+            memory_outputs.add(rp.data)
+            _walk(rp.addr, note_read)
+        for wp in mem.write_ports:
+            _walk(wp.addr, note_read)
+            _walk(wp.data, note_read)
+            _walk(wp.en, note_read)
+
+    for signal in sorted(read, key=lambda s: s.name):
+        if (signal not in driven and signal not in memory_outputs
+                and signal not in inputs):
+            report.warnings.append(LintWarning(
+                "undriven", signal.name,
+                "read by logic but never assigned (missing input "
+                "declaration or missing driver)",
+            ))
+
+    for signal, domains in sorted(driven.items(), key=lambda kv: kv[0].name):
+        if len(domains) > 1:
+            report.warnings.append(LintWarning(
+                "multi-domain", signal.name,
+                f"driven in domains {sorted(domains)}",
+            ))
+        if (signal not in read and signal not in inputs
+                and signal not in memory_outputs):
+            report.warnings.append(LintWarning(
+                "unused", signal.name,
+                "driven but never read (dead logic?)",
+            ))
+
+    for (signal, domain), count in sorted(
+            unconditional_writes.items(), key=lambda kv: kv[0][0].name):
+        if count > 1:
+            report.warnings.append(LintWarning(
+                "multiple-drivers", signal.name,
+                f"{count} unconditional assignments in '{domain}' "
+                "(last one wins)",
+            ))
+    return report

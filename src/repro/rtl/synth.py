@@ -1,0 +1,162 @@
+"""Resource estimation: the yosys stand-in.
+
+Walks a module's netlist and produces a :class:`ResourceReport` with
+LUT4, flip-flop, DSP and block-RAM estimates.  The per-operator costs
+are standard first-order FPGA mapping heuristics (carry chains for
+add/compare, LUT trees for reductions, 16x16 DSP tiles for wide
+multiplies).  Shared subexpressions are counted once, mirroring the
+common-subexpression sharing a synthesis tool performs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .ast import Cat, Const, Mux, Operator, Reinterpret, Repl, Signal, Slice
+
+# Memories at or below this many bits map to distributed LUT RAM.
+_LUT_RAM_THRESHOLD_BITS = 512
+_LUT_RAM_BITS_PER_LUT = 16
+
+
+@dataclass
+class ResourceReport:
+    """FPGA resource usage estimate for one design."""
+
+    luts: int = 0
+    ffs: int = 0
+    dsps: int = 0
+    bram_bits: int = 0
+    detail: dict = field(default_factory=dict)
+
+    @property
+    def logic_cells(self):
+        """iCE40-style logic cells (one LUT4 + one FF per cell).
+
+        Perfectly paired LUT/FF pairs share a cell; the heuristic charges
+        one cell per LUT or FF, crediting pairing on the smaller count.
+        """
+        paired = min(self.luts, self.ffs)
+        return max(self.luts, self.ffs) + paired // 4
+
+    def bram_blocks(self, block_bits):
+        if self.bram_bits == 0:
+            return 0
+        return math.ceil(self.bram_bits / block_bits)
+
+    def __add__(self, other):
+        return ResourceReport(
+            luts=self.luts + other.luts,
+            ffs=self.ffs + other.ffs,
+            dsps=self.dsps + other.dsps,
+            bram_bits=self.bram_bits + other.bram_bits,
+        )
+
+    def scaled(self, factor):
+        return ResourceReport(
+            luts=int(self.luts * factor),
+            ffs=int(self.ffs * factor),
+            dsps=self.dsps,
+            bram_bits=self.bram_bits,
+        )
+
+    def __str__(self):
+        return (
+            f"LUT4={self.luts} FF={self.ffs} DSP={self.dsps} "
+            f"BRAMbits={self.bram_bits} (~{self.logic_cells} cells)"
+        )
+
+
+def estimate(module):
+    """Estimate FPGA resources for a module hierarchy."""
+    estimator = _Estimator()
+    return estimator.run(module)
+
+
+class _Estimator:
+    def __init__(self):
+        self.report = ResourceReport()
+        self._visited = set()
+
+    def run(self, module):
+        # Flip-flops: every sync-driven signal bit is a register.
+        for sig in module.driven_signals("sync"):
+            self.report.ffs += sig.width
+
+        for _, stmt in module.all_statements():
+            self._expr(stmt.rhs)
+            if stmt.guard is not None:
+                self._expr(stmt.guard)
+                # Guard selects between new and held/default value: a 2:1 mux.
+                self.report.luts += math.ceil(stmt.lhs.width / 2)
+
+        for mem in module.all_memories():
+            self._memory(mem)
+        return self.report
+
+    def _memory(self, mem):
+        if mem.bits <= _LUT_RAM_THRESHOLD_BITS:
+            self.report.luts += math.ceil(mem.bits / _LUT_RAM_BITS_PER_LUT)
+        else:
+            self.report.bram_bits += mem.bits
+        for rp in mem.read_ports:
+            self._expr(rp.addr)
+            if rp.domain == "sync":
+                self.report.ffs += rp.data.width
+        for wp in mem.write_ports:
+            self._expr(wp.addr)
+            self._expr(wp.data)
+            self._expr(wp.en)
+
+    def _expr(self, value):
+        if id(value) in self._visited:
+            return
+        self._visited.add(id(value))
+        for child in value.operands():
+            self._expr(child)
+        if isinstance(value, (Const, Signal, Slice, Cat, Repl, Reinterpret)):
+            return  # wiring only
+        if isinstance(value, Mux):
+            self.report.luts += math.ceil(value.width / 2)
+            return
+        if isinstance(value, Operator):
+            self.report.luts += self._operator_luts(value)
+            if value.op == "*":
+                self.report.dsps += self._multiplier_dsps(value)
+
+    def _operator_luts(self, node):
+        op = node.op
+        w = node.width
+        if op in ("+", "-", "neg"):
+            return max(node.ops[0].width, node.ops[-1].width)
+        if op in ("&", "|", "^"):
+            return math.ceil(w / 2)
+        if op == "~":
+            return 0  # absorbed into downstream LUTs
+        if op in ("==", "!="):
+            return math.ceil(node.ops[0].width / 2) + 1
+        if op in ("<", "<=", ">", ">="):
+            return max(node.ops[0].width, node.ops[1].width)
+        if op in ("b", "r&"):
+            return math.ceil(node.ops[0].width / 4)
+        if op == "r^":
+            return math.ceil(node.ops[0].width / 3)
+        if op in ("<<", ">>"):
+            if isinstance(node.ops[1], Const):
+                return 0  # constant shift is wiring
+            stages = max(1, node.ops[1].width)
+            return math.ceil(node.ops[0].width * stages / 2)
+        if op == "*":
+            w0, w1 = node.ops[0].width, node.ops[1].width
+            if min(w0, w1) <= 4:
+                return math.ceil(w0 * w1 / 4)  # small multiply in fabric
+            return 0  # wide multiply maps to DSPs
+        raise ValueError(f"unknown operator {op!r}")
+
+    @staticmethod
+    def _multiplier_dsps(node):
+        w0, w1 = node.ops[0].width, node.ops[1].width
+        if min(w0, w1) <= 4:
+            return 0
+        return math.ceil(w0 / 18) * math.ceil(w1 / 18)

@@ -1,0 +1,193 @@
+"""Verilog emitter for the RTL DSL.
+
+Produces readable synthesizable Verilog-2001 from a module.  This is the
+artifact a user would hand to yosys/nextpnr in the real flow; here it
+exists so designs remain portable and inspectable.
+"""
+
+from __future__ import annotations
+
+from .ast import Cat, Const, Mux, Operator, Reinterpret, Repl, Signal, Slice
+
+
+def emit(module, ports=None):
+    """Render a module hierarchy as a single flattened Verilog module.
+
+    ``ports`` is an optional list of signals to expose; input/output
+    direction is inferred (driven signals become outputs).
+    """
+    ports = list(ports or [])
+    comb, sync = [], []
+    for domain, stmt in module.all_statements():
+        (comb if domain == "comb" else sync).append(stmt)
+    comb_driven = module.driven_signals("comb")
+    sync_driven = module.driven_signals("sync")
+    for mem in module.all_memories():
+        for rp in mem.read_ports:
+            (comb_driven if rp.domain == "comb" else sync_driven).add(rp.data)
+    driven = comb_driven | sync_driven
+
+    signals = _collect_signals(module)
+    lines = []
+    port_decls = []
+    for sig in ports:
+        direction = "output" if sig in driven else "input"
+        reg = " reg" if sig in sync_driven or sig in comb_driven else ""
+        port_decls.append(f"{direction}{reg} {_width_decl(sig)}{sig.name}")
+    header_ports = ["input clk"] + port_decls
+    lines.append(f"module {module.name} (")
+    lines.append("    " + ",\n    ".join(header_ports))
+    lines.append(");")
+
+    for sig in sorted(signals - set(ports), key=lambda s: s.name):
+        kind = "reg" if sig in driven else "wire"
+        lines.append(f"  {kind} {_width_decl(sig)}{sig.name};")
+
+    for mem in module.all_memories():
+        lines.append(
+            f"  reg [{mem.width - 1}:0] {mem.name} [0:{mem.depth - 1}];"
+        )
+
+    comb_read_ports = any(
+        rp.domain == "comb"
+        for mem in module.all_memories() for rp in mem.read_ports
+    )
+    if comb or comb_read_ports:
+        lines.append("  always @(*) begin")
+        for sig in sorted(comb_driven - set(), key=lambda s: s.name):
+            lines.append(f"    {sig.name} = {sig.reset};")
+        for mem in module.all_memories():
+            for rp in mem.read_ports:
+                if rp.domain == "comb":
+                    lines.append(
+                        f"    {rp.data.name} = {mem.name}[{_expr(rp.addr)}];"
+                    )
+        for stmt in comb:
+            lines.append(_stmt(stmt, blocking=True))
+        lines.append("  end")
+
+    if sync or any(mem.write_ports for mem in module.all_memories()):
+        lines.append("  always @(posedge clk) begin")
+        for stmt in sync:
+            lines.append(_stmt(stmt, blocking=False))
+        for mem in module.all_memories():
+            for rp in mem.read_ports:
+                if rp.domain == "sync":
+                    lines.append(
+                        f"    {rp.data.name} <= {mem.name}[{_expr(rp.addr)}];"
+                    )
+            for wp in mem.write_ports:
+                lines.append(
+                    f"    if ({_expr(wp.en)}) "
+                    f"{mem.name}[{_expr(wp.addr)}] <= {_expr(wp.data)};"
+                )
+        lines.append("  end")
+
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def _width_decl(sig):
+    if sig.width == 1:
+        return ""
+    return f"[{sig.width - 1}:0] "
+
+
+def _stmt(stmt, blocking):
+    arrow = "=" if blocking else "<="
+    lhs = _lhs(stmt.lhs)
+    body = f"{lhs} {arrow} {_expr(stmt.rhs)};"
+    if stmt.guard is not None:
+        return f"    if ({_expr(stmt.guard)}) {body}"
+    return f"    {body}"
+
+
+def _lhs(lhs):
+    if isinstance(lhs, Slice):
+        if lhs.width == 1:
+            return f"{lhs.value.name}[{lhs.start}]"
+        return f"{lhs.value.name}[{lhs.stop - 1}:{lhs.start}]"
+    return lhs.name
+
+
+def _expr(value):
+    if isinstance(value, Const):
+        return f"{value.width}'d{value.value}"
+    if isinstance(value, Signal):
+        return value.name
+    if isinstance(value, Slice):
+        inner = _expr(value.value)
+        if not isinstance(value.value, Signal):
+            inner = f"({inner})"
+            return f"{inner}[{value.stop - 1}:{value.start}]"
+        if value.width == 1:
+            return f"{inner}[{value.start}]"
+        return f"{inner}[{value.stop - 1}:{value.start}]"
+    if isinstance(value, Cat):
+        parts = ", ".join(_expr(p) for p in reversed(value.parts))
+        return "{" + parts + "}"
+    if isinstance(value, Repl):
+        return "{" + f"{value.count}{{{_expr(value.value)}}}" + "}"
+    if isinstance(value, Mux):
+        return (
+            f"({_expr(value.sel)} ? {_expr(value.if_true)}"
+            f" : {_expr(value.if_false)})"
+        )
+    if isinstance(value, Reinterpret):
+        fn = "$signed" if value.signed else "$unsigned"
+        return f"{fn}({_expr(value.value)})"
+    if isinstance(value, Operator):
+        return _operator(value)
+    raise TypeError(f"cannot emit {value!r}")
+
+
+def _operator(node):
+    op, ops = node.op, node.ops
+
+    def side(v):
+        text = _expr(v)
+        if v.signed:
+            text = f"$signed({text})"
+        return text
+
+    if op in ("+", "-", "*", "&", "|", "^", "<<", "==", "!=", "<", "<=", ">", ">="):
+        return f"({side(ops[0])} {op} {side(ops[1])})"
+    if op == ">>":
+        verilog_op = ">>>" if ops[0].signed else ">>"
+        return f"({side(ops[0])} {verilog_op} {_expr(ops[1])})"
+    if op == "~":
+        return f"(~{_expr(ops[0])})"
+    if op == "neg":
+        return f"(-{side(ops[0])})"
+    if op == "b":
+        return f"(|{_expr(ops[0])})"
+    if op == "r&":
+        return f"(&{_expr(ops[0])})"
+    if op == "r^":
+        return f"(^{_expr(ops[0])})"
+    raise ValueError(f"unknown operator {op!r}")
+
+
+def _collect_signals(module):
+    signals = set()
+
+    def walk(value):
+        if isinstance(value, Signal):
+            signals.add(value)
+        for child in value.operands():
+            walk(child)
+        if isinstance(value, Slice):
+            walk(value.value)
+
+    for _, stmt in module.all_statements():
+        signals.add(stmt.target_signal())
+        walk(stmt.rhs)
+        if stmt.guard is not None:
+            walk(stmt.guard)
+    for mem in module.all_memories():
+        for rp in mem.read_ports:
+            signals.add(rp.addr)
+            signals.add(rp.data)
+        for wp in mem.write_ports:
+            signals.update([wp.addr, wp.data, wp.en])
+    return signals

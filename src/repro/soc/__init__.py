@@ -1,0 +1,24 @@
+"""SoC construction: bus, CSRs, peripherals, builder, linker (LiteX stand-in)."""
+
+from .bus import BusError, RamBacking, SocBus
+from .csr import CsrBank, CsrRegister
+from .linker import ImageLayout, LinkError, image_sections, link
+from .peripherals import (
+    CtrlRegisters,
+    DebugBridge,
+    Peripheral,
+    SdramController,
+    SpiFlashController,
+    Timer,
+    Uart,
+    UsbBridge,
+)
+from .soc import CSR_BASE, FLASH_BASE, MAIN_RAM_BASE, SRAM_BASE, Soc
+
+__all__ = [
+    "BusError", "CSR_BASE", "CsrBank", "CsrRegister", "CtrlRegisters",
+    "DebugBridge", "FLASH_BASE", "ImageLayout", "LinkError",
+    "MAIN_RAM_BASE", "Peripheral", "RamBacking", "SRAM_BASE",
+    "SdramController", "Soc", "SocBus", "SpiFlashController", "Timer",
+    "Uart", "UsbBridge", "image_sections", "link",
+]

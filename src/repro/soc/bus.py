@@ -1,0 +1,100 @@
+"""The SoC interconnect: address decode over RAM regions and CSRs.
+
+``SocBus`` implements the same byte/halfword/word protocol as
+:class:`~repro.cpu.machine.SparseMemory`, so an ISA
+:class:`~repro.cpu.machine.Machine` can execute directly against a SoC:
+loads and stores hit real RAM backings or peripheral registers.
+"""
+
+from __future__ import annotations
+
+from ..rtl.synth import ResourceReport
+
+
+class BusError(RuntimeError):
+    pass
+
+
+class RamBacking:
+    """A bytearray-backed RAM/ROM region."""
+
+    def __init__(self, region, writable=True):
+        self.region = region
+        self.writable = writable
+        self.data = bytearray(region.size)
+
+    def load(self, offset, blob):
+        self.data[offset:offset + len(blob)] = blob
+
+
+class SocBus:
+    """Decodes addresses to RAM backings or the CSR bank."""
+
+    def __init__(self, memory_map, csr_bank=None, rom_regions=()):
+        self.memory_map = memory_map
+        self.csr_bank = csr_bank
+        self.backings = {
+            region.name: RamBacking(region, writable=region.name not in rom_regions)
+            for region in memory_map
+        }
+
+    def backing(self, name):
+        return self.backings[name]
+
+    def load_bytes(self, addr, blob):
+        backing, offset = self._locate(addr)
+        backing.data[offset:offset + len(blob)] = blob
+
+    def _locate(self, addr):
+        region = self.memory_map.find(addr)
+        return self.backings[region.name], addr - region.base
+
+    # --- byte/halfword/word protocol ------------------------------------------------
+    def read8(self, addr):
+        if self.csr_bank is not None and self.csr_bank.contains(addr):
+            word = self.csr_bank.read32(addr & ~3)
+            return (word >> (8 * (addr & 3))) & 0xFF
+        backing, offset = self._locate(addr)
+        return backing.data[offset]
+
+    def write8(self, addr, value):
+        if self.csr_bank is not None and self.csr_bank.contains(addr):
+            self.csr_bank.write32(addr & ~3, value & 0xFF)
+            return
+        backing, offset = self._locate(addr)
+        if not backing.writable:
+            raise BusError(f"write to read-only region at 0x{addr:08x}")
+        backing.data[offset] = value & 0xFF
+
+    def read16(self, addr):
+        return self.read8(addr) | self.read8(addr + 1) << 8
+
+    def write16(self, addr, value):
+        self.write8(addr, value)
+        self.write8(addr + 1, value >> 8)
+
+    def read32(self, addr):
+        if self.csr_bank is not None and self.csr_bank.contains(addr):
+            return self.csr_bank.read32(addr & ~3)
+        backing, offset = self._locate(addr)
+        if offset + 4 <= len(backing.data):
+            return int.from_bytes(backing.data[offset:offset + 4], "little")
+        return self.read16(addr) | self.read16(addr + 2) << 16
+
+    def write32(self, addr, value):
+        if self.csr_bank is not None and self.csr_bank.contains(addr):
+            self.csr_bank.write32(addr & ~3, value & 0xFFFFFFFF)
+            return
+        backing, offset = self._locate(addr)
+        if not backing.writable:
+            raise BusError(f"write to read-only region at 0x{addr:08x}")
+        if offset + 4 <= len(backing.data):
+            backing.data[offset:offset + 4] = (value & 0xFFFFFFFF).to_bytes(4, "little")
+        else:
+            self.write16(addr, value)
+            self.write16(addr + 2, value >> 16)
+
+
+def interconnect_resources(num_slaves):
+    """Wishbone decoder/arbiter cost grows with the slave count."""
+    return ResourceReport(luts=120 + 35 * num_slaves, ffs=60 + 10 * num_slaves)

@@ -1,0 +1,83 @@
+"""Configuration & status registers: LiteX's CSR bank stand-in.
+
+Peripherals expose named registers; the bank allocates addresses in the
+CSR region and dispatches MMIO accesses.  Each register costs logic
+(decode + flops), which is why the KWS study prunes "unnecessary control
+& status registers" to make room for a larger icache (Section III-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..rtl.synth import ResourceReport
+
+CSR_CELLS_PER_REGISTER = 11  # address decode + flops amortized
+
+
+@dataclass
+class CsrRegister:
+    name: str
+    width: int = 32
+    reset: int = 0
+    read_only: bool = False
+    on_write: object = None   # callable(value) hook
+    on_read: object = None    # callable() -> value hook
+    value: int = 0
+    address: int = None
+
+    def __post_init__(self):
+        self.value = self.reset
+
+    def read(self):
+        if self.on_read is not None:
+            return self.on_read() & ((1 << self.width) - 1)
+        return self.value
+
+    def write(self, value):
+        if self.read_only:
+            return
+        self.value = value & ((1 << self.width) - 1)
+        if self.on_write is not None:
+            self.on_write(self.value)
+
+
+class CsrBank:
+    """Allocates CSR addresses and dispatches word accesses."""
+
+    def __init__(self, base=0xE000_0000):
+        self.base = base
+        self.registers = []
+        self._by_address = {}
+        self._by_name = {}
+        self._next = base
+
+    def add(self, register):
+        register.address = self._next
+        self._next += 4
+        self.registers.append(register)
+        self._by_address[register.address] = register
+        self._by_name[register.name] = register
+        return register
+
+    def get(self, name):
+        return self._by_name[name]
+
+    def contains(self, addr):
+        return self.base <= addr < self._next
+
+    def read32(self, addr):
+        return self._by_address[addr & ~3].read()
+
+    def write32(self, addr, value):
+        self._by_address[addr & ~3].write(value)
+
+    @property
+    def span(self):
+        return max(4, self._next - self.base)
+
+    def resources(self):
+        return ResourceReport(
+            luts=CSR_CELLS_PER_REGISTER * len(self.registers),
+            ffs=sum(r.width for r in self.registers if not r.read_only),
+        )

@@ -1,0 +1,92 @@
+"""Binary image layout: the linker-script step of the build flow.
+
+Section III-B: "the compiled binary image would not fit in 128 kB ...
+We modified the linker script to place the code (.text) and read-only
+data (.rodata — mostly weights) into flash."  This module models that
+decision: it sizes the image sections for a model, places each section
+into a memory region, and verifies capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..tflm.arena import plan_arena
+
+#: TFLM runtime + libc + LiteX BIOS code footprint.
+FRAMEWORK_TEXT_BYTES = 132 * 1024
+#: The hot kernels (conv, depthwise, their specializations).
+KERNEL_TEXT_BYTES = 14 * 1024
+#: Lookup tables, strings and other non-model constants.
+MISC_RODATA_BYTES = 18 * 1024
+#: Mutable globals + stack.
+DATA_STACK_BYTES = 24 * 1024
+
+
+class LinkError(RuntimeError):
+    pass
+
+
+@dataclass
+class ImageLayout:
+    """Section sizes plus the chosen section -> region assignment."""
+
+    sections: dict            # section name -> bytes
+    placement: dict           # section name -> region name
+    region_usage: dict = field(default_factory=dict)
+
+    def summary(self):
+        lines = ["image layout:"]
+        for section, size in self.sections.items():
+            region = self.placement.get(section, "-")
+            lines.append(f"  {section:14s} {size:>8,} B -> {region}")
+        for region, used in self.region_usage.items():
+            lines.append(f"  region {region}: {used:,} B used")
+        return "\n".join(lines)
+
+
+def image_sections(model):
+    """Section sizes for a deployment of ``model``."""
+    arena = plan_arena(model)
+    return {
+        "text": FRAMEWORK_TEXT_BYTES,
+        "kernel_text": KERNEL_TEXT_BYTES,
+        "model_weights": model.weights_bytes(),
+        "rodata_misc": MISC_RODATA_BYTES,
+        "data": DATA_STACK_BYTES,
+        "arena": arena.arena_bytes,
+    }
+
+
+def link(soc, model, placement=None):
+    """Place sections into the SoC's regions and verify capacity.
+
+    ``placement`` overrides the SoC default per section.  Raises
+    :class:`LinkError` when a region overflows — e.g. trying to put the
+    whole image into Fomu's 128 kB SRAM.
+    """
+    sections = image_sections(model)
+    assignment = dict(soc.default_placement())
+    assignment.setdefault("rodata_misc", assignment["text"])
+    assignment.setdefault("data", _ram_region(soc))
+    assignment.update(placement or {})
+
+    usage = {}
+    for section, size in sections.items():
+        region_name = assignment[section]
+        usage[region_name] = usage.get(region_name, 0) + size
+    for region_name, used in usage.items():
+        region = soc.memory_map.get(region_name)
+        if used > region.size:
+            raise LinkError(
+                f"section overflow: {used:,} B assigned to region "
+                f"{region_name} of {region.size:,} B\n"
+                + ImageLayout(sections, assignment, usage).summary()
+            )
+    return ImageLayout(sections, assignment, usage)
+
+
+def _ram_region(soc):
+    if soc.board.has_external_ram:
+        return "main_ram"
+    return "sram"

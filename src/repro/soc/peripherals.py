@@ -1,0 +1,199 @@
+"""SoC peripherals: UART, timer, SPI flash controller, USB bridge.
+
+Each peripheral contributes CSRs (behavioral register models, so
+software running on the ISA machine can really drive them) and a
+resource cost used by the fitter.  Costs are first-order LiteX-core
+figures; the USB bridge models valentyusb, which is how Fomu — whose
+only connector is USB — provides the TTY the framework requires.
+"""
+
+from __future__ import annotations
+
+from ..perf.memories import QSPI_FLASH, SPI_FLASH
+from ..rtl.synth import ResourceReport
+from .csr import CsrRegister
+
+
+class Peripheral:
+    """Base: registers() yields CsrRegister objects; resources() the cost."""
+
+    name = "peripheral"
+    removable = True
+
+    def registers(self):
+        return []
+
+    def resources(self):
+        return ResourceReport()
+
+
+class Uart(Peripheral):
+    """TTY endpoint: software writes bytes, the host (tests) reads them."""
+
+    name = "uart"
+    removable = False  # the framework requires a TTY (Section II-C)
+
+    def __init__(self):
+        self.tx_log = bytearray()
+        self.rx_queue = bytearray()
+
+    def registers(self):
+        return [
+            CsrRegister("uart_rxtx", on_write=self._tx, on_read=self._rx),
+            CsrRegister("uart_txfull", read_only=True, on_read=lambda: 0),
+            CsrRegister("uart_rxempty", read_only=True,
+                        on_read=lambda: int(not self.rx_queue)),
+            CsrRegister("uart_ev_pending"),
+            CsrRegister("uart_ev_enable"),
+        ]
+
+    def _tx(self, value):
+        self.tx_log.append(value & 0xFF)
+
+    def _rx(self):
+        if self.rx_queue:
+            return self.rx_queue.pop(0)
+        return 0
+
+    def text(self):
+        return self.tx_log.decode("ascii", errors="replace")
+
+    def resources(self):
+        return ResourceReport(luts=140, ffs=90)
+
+
+class Timer(Peripheral):
+    """LiteX hardware timer — one of the features removed to fit Fomu."""
+
+    name = "timer"
+
+    def __init__(self):
+        self._load = 0
+        self._count = 0
+
+    def registers(self):
+        return [
+            CsrRegister("timer_load", on_write=self._set_load),
+            CsrRegister("timer_reload"),
+            CsrRegister("timer_en", on_write=self._enable),
+            CsrRegister("timer_update_value"),
+            CsrRegister("timer_value", read_only=True, on_read=lambda: self._count),
+            CsrRegister("timer_ev_pending"),
+            CsrRegister("timer_ev_enable"),
+        ]
+
+    def _set_load(self, value):
+        self._load = value
+
+    def _enable(self, value):
+        if value:
+            self._count = self._load
+
+    def resources(self):
+        return ResourceReport(luts=180, ffs=130)
+
+
+class CtrlRegisters(Peripheral):
+    """LiteX SoC controller: reset, scratch, bus-error registers —
+    the 'reset registers' pruned in the KWS study."""
+
+    name = "ctrl"
+
+    def registers(self):
+        return [
+            CsrRegister("ctrl_reset"),
+            CsrRegister("ctrl_scratch", reset=0x12345678),
+            CsrRegister("ctrl_bus_errors", read_only=True, on_read=lambda: 0),
+        ]
+
+    def resources(self):
+        return ResourceReport(luts=90, ffs=70)
+
+
+class SpiFlashController(Peripheral):
+    """XIP flash interface; ``quad=True`` is the QuadSPI upgrade."""
+
+    name = "spiflash"
+    removable = False
+
+    def __init__(self, quad=False):
+        self.quad = quad
+
+    @property
+    def tech(self):
+        return QSPI_FLASH if self.quad else SPI_FLASH
+
+    def registers(self):
+        return [CsrRegister("spiflash_ctrl"), CsrRegister("spiflash_status",
+                                                          read_only=True)]
+
+    def resources(self):
+        # Quad mode needs 4 bidirectional data lanes and a wider shifter.
+        return ResourceReport(luts=150 if self.quad else 110, ffs=80)
+
+
+class UsbBridge(Peripheral):
+    """valentyusb softcore: Fomu's only I/O path (USB CDC TTY + DFU)."""
+
+    name = "usb_bridge"
+    removable = False
+
+    def registers(self):
+        return [CsrRegister(f"usb_{suffix}") for suffix in
+                ("pullup", "address", "setup", "in_ctrl", "out_ctrl",
+                 "ev_pending", "ev_enable")]
+
+    def resources(self):
+        return ResourceReport(luts=1350, ffs=640, bram_bits=2 * 4096)
+
+
+class RgbLed(Peripheral):
+    """Fomu's RGB LED driver (SB_RGBA_DRV wrapper + PWM CSRs)."""
+
+    name = "rgb"
+
+    def registers(self):
+        return [CsrRegister("rgb_ctrl"), CsrRegister("rgb_raw")]
+
+    def resources(self):
+        return ResourceReport(luts=120, ffs=70)
+
+
+class TouchPads(Peripheral):
+    """Fomu's four capacitive touch pads."""
+
+    name = "touch"
+
+    def registers(self):
+        return [CsrRegister("touch_o"), CsrRegister("touch_oe"),
+                CsrRegister("touch_i")]
+
+    def resources(self):
+        return ResourceReport(luts=70, ffs=30)
+
+
+class DebugBridge(Peripheral):
+    """Wishbone debug bridge (Section II-E's debugger support)."""
+
+    name = "debug_bridge"
+
+    def registers(self):
+        return [CsrRegister("debug_ctrl"), CsrRegister("debug_data")]
+
+    def resources(self):
+        return ResourceReport(luts=260, ffs=180)
+
+
+class SdramController(Peripheral):
+    """LiteDRAM controller for boards with DDR3 (Arty, OrangeCrab)."""
+
+    name = "sdram"
+    removable = False
+
+    def registers(self):
+        return [CsrRegister(f"sdram_{suffix}") for suffix in
+                ("dfii_control", "dfii_pi0_command", "dfii_pi0_address",
+                 "dfii_pi0_baddress", "dfii_pi0_wrdata", "dfii_pi0_rddata")]
+
+    def resources(self):
+        return ResourceReport(luts=2600, ffs=1900, bram_bits=8 * 4096)

@@ -1,0 +1,157 @@
+"""SoC builder: the LiteX stand-in.
+
+Assembles a board + VexRiscv configuration + peripherals + CFU into a
+system with a concrete memory map, a CSR bank, an executable bus (for
+the ISA machine), an aggregate resource report (for the fitter), and a
+:class:`~repro.perf.cost.SystemConfig` (for the performance model).
+"""
+
+from __future__ import annotations
+
+from ..cpu.vexriscv import VexRiscvConfig, cpu_resources
+from ..perf.cost import SystemConfig
+from ..perf.memories import BLOCK_RAM, MemoryMap, MemoryRegion, ON_CHIP_SRAM
+from .bus import SocBus, interconnect_resources
+from .csr import CsrBank
+from .peripherals import (
+    CtrlRegisters,
+    RgbLed,
+    SdramController,
+    SpiFlashController,
+    Timer,
+    TouchPads,
+    Uart,
+    UsbBridge,
+)
+
+SRAM_BASE = 0x1000_0000
+FLASH_BASE = 0x2000_0000
+MAIN_RAM_BASE = 0x4000_0000
+CSR_BASE = 0xE000_0000
+
+
+class Soc:
+    """A composed system-on-chip targeting one board."""
+
+    def __init__(self, board, cpu_config=None, quad_spi=False,
+                 peripherals=None, cfu=None, clock_hz=None):
+        self.board = board
+        self.cpu_config = cpu_config or VexRiscvConfig()
+        self.cfu = cfu  # object with .resources(), or None
+        self.clock_hz = clock_hz or board.clock_hz
+        self.spiflash = SpiFlashController(quad=quad_spi)
+        if peripherals is None:
+            peripherals = self._default_peripherals()
+        self.peripherals = list(peripherals)
+        self._rebuild()
+
+    def _default_peripherals(self):
+        peripherals = [Uart(), CtrlRegisters(), Timer()]
+        if self.board.name in ("fomu",):
+            peripherals += [UsbBridge(), RgbLed(), TouchPads()]
+        if self.board.has_external_ram:
+            peripherals.append(SdramController())
+        return peripherals
+
+    def _rebuild(self):
+        self.csr_bank = CsrBank(base=CSR_BASE)
+        for peripheral in [self.spiflash] + self.peripherals:
+            for register in peripheral.registers():
+                self.csr_bank.add(register)
+        self.memory_map = self._build_memory_map()
+
+    def _build_memory_map(self):
+        regions = []
+        if self.board.sram_bytes:
+            regions.append(MemoryRegion("sram", SRAM_BASE, self.board.sram_bytes,
+                                        ON_CHIP_SRAM))
+        if self.board.flash_bytes:
+            regions.append(MemoryRegion("flash", FLASH_BASE,
+                                        self.board.flash_bytes,
+                                        self.spiflash.tech))
+        if self.board.has_external_ram:
+            regions.append(MemoryRegion("main_ram", MAIN_RAM_BASE,
+                                        self.board.external_ram_bytes,
+                                        self.board.external_ram_tech))
+        # CSR window: uncached single-cycle register accesses.
+        regions.append(MemoryRegion("csr", CSR_BASE, 0x1_0000, BLOCK_RAM,
+                                    cacheable=False))
+        return MemoryMap(regions)
+
+    # --- mutation steps used by the optimization ladders ----------------------------
+    def upgrade_to_quad_spi(self):
+        """The *QuadSPI* step: 4-bit-wide flash reads."""
+        if not self.board.flash_qspi_capable:
+            raise ValueError(f"{self.board.name} flash is not QSPI capable")
+        self.spiflash.quad = True
+        self._rebuild()
+        return self
+
+    def remove_peripheral(self, name):
+        """Strip a removable SoC feature (timer, ctrl CSRs, debug...)."""
+        for peripheral in self.peripherals:
+            if peripheral.name == name:
+                if not peripheral.removable:
+                    raise ValueError(f"{name} is required and cannot be removed")
+                self.peripherals.remove(peripheral)
+                self._rebuild()
+                return self
+        raise KeyError(f"no peripheral named {name!r}")
+
+    def with_cpu(self, cpu_config):
+        self.cpu_config = cpu_config
+        self._rebuild()
+        return self
+
+    def attach_cfu(self, cfu):
+        self.cfu = cfu
+        return self
+
+    def peripheral(self, name):
+        for peripheral in [self.spiflash] + self.peripherals:
+            if peripheral.name == name:
+                return peripheral
+        raise KeyError(name)
+
+    # --- outputs --------------------------------------------------------------------
+    def resources(self):
+        """Aggregate resource usage of CPU + SoC fabric + CFU."""
+        total = cpu_resources(self.cpu_config)
+        for peripheral in [self.spiflash] + self.peripherals:
+            total = total + peripheral.resources()
+        total = total + self.csr_bank.resources()
+        total = total + interconnect_resources(len(self.memory_map.regions) + 1)
+        if self.cfu is not None:
+            total = total + self.cfu.resources()
+        return total
+
+    def bus(self):
+        """An executable bus for the ISA machine (flash is read-only)."""
+        return SocBus(self.memory_map, self.csr_bank, rom_regions=("flash",))
+
+    def default_placement(self):
+        """Where sections live before any optimization."""
+        if self.board.has_external_ram:
+            ram = "main_ram"
+            return {"text": ram, "kernel_text": ram, "model_weights": ram,
+                    "arena": ram}
+        # Flash-XIP platform (Fomu): code and constants execute in place.
+        return {"text": "flash", "kernel_text": "flash",
+                "model_weights": "flash", "arena": "sram"}
+
+    def system_config(self, placement=None, **overrides):
+        base = self.default_placement()
+        base.update(placement or {})
+        base.update(overrides)
+        return SystemConfig(
+            cpu=self.cpu_config,
+            memory_map=self.memory_map,
+            placement=base,
+            clock_hz=self.clock_hz,
+        )
+
+    def __repr__(self):
+        features = ", ".join(p.name for p in self.peripherals)
+        return (f"Soc({self.board.name}, cpu={self.cpu_config.multiplier}-mul/"
+                f"{self.cpu_config.icache_bytes}B-i$/"
+                f"{self.cpu_config.dcache_bytes}B-d$, [{features}])")

@@ -1,0 +1,190 @@
+"""Audio feature frontend: MFCC pre-processing for keyword spotting.
+
+The paper motivates full-stack evaluation because it "accounts for
+end-to-end bottlenecks that may arise elsewhere in the stack (software
+overheads, pre-processing, etc.) but are often ignored when designing in
+isolation" (Section I).  For the KWS workload, that pre-processing is
+the MFCC pipeline that turns 1 s of 16 kHz audio into the 49x10 feature
+map DS-CNN consumes (the MLPerf Tiny / micro-speech frontend):
+
+framing (30 ms window, 20 ms stride) -> Hann window -> 512-point real
+FFT -> power spectrum -> 40-bin mel filterbank -> log -> DCT-II, keep
+10 coefficients -> quantize to int8.
+
+Numerics are float64 internally (the embedded implementation is
+fixed-point; the spectral *shape* is what feeds the model), quantized
+with the same affine scheme as every activation.  A cycle model for the
+frontend is provided so end-to-end profiles include it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..perf.cost import CostContext
+from .quantize import QuantParams
+
+
+@dataclass(frozen=True)
+class MfccConfig:
+    sample_rate_hz: int = 16_000
+    window_ms: float = 30.0
+    stride_ms: float = 20.0
+    fft_size: int = 512
+    mel_bins: int = 40
+    dct_coefficients: int = 10
+    mel_low_hz: float = 20.0
+    mel_high_hz: float = 4_000.0
+
+    @property
+    def window_samples(self):
+        return int(self.sample_rate_hz * self.window_ms / 1000)
+
+    @property
+    def stride_samples(self):
+        return int(self.sample_rate_hz * self.stride_ms / 1000)
+
+    def num_frames(self, num_samples):
+        if num_samples < self.window_samples:
+            return 0
+        return 1 + (num_samples - self.window_samples) // self.stride_samples
+
+
+def _hz_to_mel(hz):
+    return 2595.0 * np.log10(1.0 + np.asarray(hz, dtype=np.float64) / 700.0)
+
+
+def _mel_to_hz(mel):
+    return 700.0 * (10.0 ** (np.asarray(mel, dtype=np.float64) / 2595.0) - 1.0)
+
+
+def mel_filterbank(config):
+    """(mel_bins, fft_size//2+1) triangular filter matrix."""
+    num_bins = config.fft_size // 2 + 1
+    freqs = np.linspace(0, config.sample_rate_hz / 2, num_bins)
+    mel_points = np.linspace(_hz_to_mel(config.mel_low_hz),
+                             _hz_to_mel(config.mel_high_hz),
+                             config.mel_bins + 2)
+    hz_points = _mel_to_hz(mel_points)
+    bank = np.zeros((config.mel_bins, num_bins))
+    for m in range(config.mel_bins):
+        left, center, right = hz_points[m:m + 3]
+        rising = (freqs - left) / max(center - left, 1e-9)
+        falling = (right - freqs) / max(right - center, 1e-9)
+        bank[m] = np.clip(np.minimum(rising, falling), 0.0, None)
+    return bank
+
+
+def dct_matrix(rows, cols):
+    """Orthonormal DCT-II basis (rows x cols)."""
+    n = np.arange(cols)
+    k = np.arange(rows).reshape(-1, 1)
+    basis = np.cos(np.pi * (2 * n + 1) * k / (2 * cols))
+    basis[0] *= 1.0 / np.sqrt(2)
+    return basis * np.sqrt(2.0 / cols)
+
+
+def mfcc(audio, config=None):
+    """MFCC features: (num_frames, dct_coefficients) float array.
+
+    ``audio`` is int16 PCM or float in [-1, 1].
+    """
+    config = config or MfccConfig()
+    audio = np.asarray(audio, dtype=np.float64)
+    if audio.size and np.abs(audio).max() > 1.5:
+        audio = audio / 32768.0  # int16 PCM
+    frames = config.num_frames(audio.size)
+    window = np.hanning(config.window_samples)
+    bank = mel_filterbank(config)
+    dct = dct_matrix(config.dct_coefficients, config.mel_bins)
+    features = np.empty((frames, config.dct_coefficients))
+    for index in range(frames):
+        start = index * config.stride_samples
+        frame = audio[start:start + config.window_samples] * window
+        spectrum = np.fft.rfft(frame, n=config.fft_size)
+        power = (spectrum.real ** 2 + spectrum.imag ** 2)
+        mel_energies = bank @ power
+        log_mel = np.log(mel_energies + 1e-6)
+        features[index] = dct @ log_mel
+    return features
+
+
+def quantize_features(features, scale=0.6, zero_point=0):
+    """int8 feature map shaped (1, frames, coefficients, 1) for DS-CNN."""
+    params = QuantParams(scale=scale, zero_point=zero_point)
+    q = params.quantize(features)
+    return q.reshape(1, *features.shape, 1), params
+
+
+def preprocess_audio(audio, config=None):
+    """Full frontend: audio -> int8 (1, 49, 10, 1) DS-CNN input."""
+    features = mfcc(audio, config)
+    data, _ = quantize_features(features)
+    return data
+
+
+def frontend_cycles(system, config=None, num_samples=16_000):
+    """Cycle cost of the frontend on a given system configuration.
+
+    Fixed-point FFT butterflies, filterbank MACs, log via polynomial,
+    and the small DCT.  On the Fomu baseline this is mul-heavy — another
+    beneficiary of the *Fast Mult* step, which is exactly why end-to-end
+    accounting matters.
+    """
+    config = config or MfccConfig()
+    frames = config.num_frames(num_samples)
+    n = config.fft_size
+    butterflies = int(n / 2 * np.log2(n))
+    num_bins = n // 2 + 1
+    ctx = CostContext(system, code_section="kernel_text")
+    per_frame_muls = (config.window_samples          # windowing
+                      + 4 * butterflies              # complex FFT muls
+                      + 2 * num_bins                 # power spectrum
+                      + config.mel_bins * 24         # sparse filterbank
+                      + config.mel_bins * 6          # log polynomial
+                      + config.dct_coefficients * config.mel_bins)
+    ctx.mul(frames * per_frame_muls)
+    ctx.alu(frames * (6 * butterflies + 4 * num_bins + 30 * config.mel_bins))
+    ctx.load(frames * (2 * config.window_samples + 4 * butterflies),
+             size=2, section="arena", pattern="seq",
+             footprint=4 * config.fft_size)
+    ctx.store(frames * (config.mel_bins + config.dct_coefficients),
+              size=2, section="arena")
+    ctx.branch(frames * (butterflies + config.mel_bins), taken=0.9)
+    ctx.call(frames * 4)
+    return ctx.finish(loop_footprint_bytes=1400)
+
+
+def frontend_cycles_with_cfu(system, config=None, num_samples=16_000):
+    """Frontend cycles with the CFU3 FFT-butterfly unit attached.
+
+    The next turn of the deploy-profile-optimize loop (see
+    :mod:`repro.accel.audio`): each radix-2 butterfly becomes two
+    pipelined custom instructions (BFLY + GET_Y1) instead of four
+    multiplies plus adds; windowing and the filterbank ride the CMUL op.
+    """
+    config = config or MfccConfig()
+    frames = config.num_frames(num_samples)
+    n = config.fft_size
+    butterflies = int(n / 2 * np.log2(n))
+    num_bins = n // 2 + 1
+    ctx = CostContext(system, code_section="kernel_text")
+    per_frame_cfu = (butterflies * 2          # BFLY + GET_Y1
+                     + butterflies // 4       # twiddle updates (per group)
+                     + config.window_samples  # windowing via CMUL
+                     + config.mel_bins * 12)  # filterbank via CMUL lane
+    ctx.cfu(frames * per_frame_cfu, latency=2, ii=1)
+    # Power spectrum + log + DCT remain on the CPU.
+    ctx.mul(frames * (2 * num_bins + config.mel_bins * 6
+                      + config.dct_coefficients * config.mel_bins))
+    ctx.alu(frames * (2 * butterflies + 3 * num_bins + 24 * config.mel_bins))
+    ctx.load(frames * (2 * config.window_samples + 2 * butterflies),
+             size=4, section="arena", pattern="seq",
+             footprint=4 * config.fft_size)
+    ctx.store(frames * (2 * butterflies // 2 + config.mel_bins
+                        + config.dct_coefficients), size=4, section="arena")
+    ctx.branch(frames * (butterflies / 2 + config.mel_bins), taken=0.9)
+    ctx.call(frames * 4)
+    return ctx.finish(loop_footprint_bytes=900)

@@ -1,0 +1,39 @@
+"""Reference int8 elementwise kernels: ADD (TFLite broadcast-free form)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..quantize import multiply_by_quantized_multiplier, quantize_multiplier
+
+_LEFT_SHIFT = 20  # TFLM's kLeftShift for int8 ADD
+
+
+def add_parameters(scale1, zero1, scale2, zero2, scale_out, zero_out):
+    """Precompute the TFLM int8 ADD multipliers (done at Prepare time)."""
+    twice_max = 2.0 * max(scale1, scale2)
+    m1, s1 = quantize_multiplier(scale1 / twice_max)
+    m2, s2 = quantize_multiplier(scale2 / twice_max)
+    mo, so = quantize_multiplier(twice_max / ((1 << _LEFT_SHIFT) * scale_out))
+    return {
+        "input1_multiplier": m1, "input1_shift": s1, "input1_zero_point": zero1,
+        "input2_multiplier": m2, "input2_shift": s2, "input2_zero_point": zero2,
+        "output_multiplier": mo, "output_shift": so, "output_zero_point": zero_out,
+    }
+
+
+def add_reference(input1, input2, params, activation_min=-128, activation_max=127):
+    """TFLM int8 ADD: rescale both inputs to a shared domain, sum, requantize."""
+    x1 = (np.asarray(input1, dtype=np.int64) - params["input1_zero_point"]) << _LEFT_SHIFT
+    x2 = (np.asarray(input2, dtype=np.int64) - params["input2_zero_point"]) << _LEFT_SHIFT
+    scaled1 = multiply_by_quantized_multiplier(
+        x1, params["input1_multiplier"], params["input1_shift"]
+    )
+    scaled2 = multiply_by_quantized_multiplier(
+        x2, params["input2_multiplier"], params["input2_shift"]
+    )
+    raw = scaled1 + scaled2
+    out = multiply_by_quantized_multiplier(
+        raw, params["output_multiplier"], params["output_shift"]
+    ) + params["output_zero_point"]
+    return np.clip(out, activation_min, activation_max).astype(np.int8)

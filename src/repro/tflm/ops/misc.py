@@ -1,0 +1,48 @@
+"""Reference kernels: SOFTMAX, RESHAPE, PAD, MEAN.
+
+Softmax deviates from TFLM's table-driven fixed-point exponential: it
+computes in float64 and quantizes to the standard (1/256, -128) output
+quantization.  The deviation is deterministic, affects no measured
+experiment (softmax is a negligible fraction of every workload here),
+and is documented in DESIGN.md's substitution table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def softmax_reference(input_data, input_scale, output_scale=1.0 / 256,
+                      output_zero_point=-128):
+    x = np.asarray(input_data, dtype=np.float64) * float(input_scale)
+    x = x - x.max(axis=-1, keepdims=True)
+    e = np.exp(x)
+    probs = e / e.sum(axis=-1, keepdims=True)
+    q = np.round(probs / output_scale) + output_zero_point
+    return np.clip(q, -128, 127).astype(np.int8)
+
+
+def reshape_reference(input_data, new_shape):
+    return np.asarray(input_data).reshape(new_shape)
+
+
+def pad_reference(input_data, paddings, pad_value):
+    paddings = [(int(lo), int(hi)) for lo, hi in paddings]
+    return np.pad(
+        np.asarray(input_data), paddings, mode="constant",
+        constant_values=int(pad_value),
+    )
+
+
+def mean_reference(input_data, axes, keepdims=True,
+                   activation_min=-128, activation_max=127):
+    """MEAN over spatial axes with round-half-away-from-zero (TFLM)."""
+    data = np.asarray(input_data, dtype=np.int64)
+    count = 1
+    for axis in axes:
+        count *= data.shape[axis]
+    total = data.sum(axis=tuple(axes), keepdims=keepdims)
+    rounded = np.where(
+        total >= 0, (total + count // 2) // count, -((-total + count // 2) // count)
+    )
+    return np.clip(rounded, activation_min, activation_max).astype(np.int8)

@@ -1,0 +1,42 @@
+"""Reference int8 pooling kernels (TFLite semantics).
+
+Average pooling keeps input quantization (TFLite requires matching
+input/output scales), summing in int32 and rounding half away from zero.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .conv import pad_input
+
+
+def _windows(input_data, pool_hw, stride_hw, padding, pad_value):
+    padded, (oh, ow) = pad_input(input_data, pool_hw, stride_hw, padding, pad_value)
+    ph, pw = pool_hw
+    sh, sw = stride_hw
+    n, _, _, c = padded.shape
+    stack = np.empty((ph * pw, n, oh, ow, c), dtype=np.int64)
+    for ky in range(ph):
+        for kx in range(pw):
+            stack[ky * pw + kx] = padded[:, ky:ky + oh * sh:sh, kx:kx + ow * sw:sw, :]
+    return stack
+
+
+def average_pool_reference(input_data, pool_size, stride, padding="valid",
+                           activation_min=-128, activation_max=127):
+    stack = _windows(input_data, pool_size, stride, padding, pad_value=0)
+    total = stack.sum(axis=0)
+    count = pool_size[0] * pool_size[1]
+    # Round half away from zero, like TFLM's AveragePool.
+    rounded = np.where(
+        total >= 0, (total + count // 2) // count, -((-total + count // 2) // count)
+    )
+    return np.clip(rounded, activation_min, activation_max).astype(np.int8)
+
+
+def max_pool_reference(input_data, pool_size, stride, padding="valid",
+                       activation_min=-128, activation_max=127):
+    stack = _windows(input_data, pool_size, stride, padding, pad_value=-128)
+    result = stack.max(axis=0)
+    return np.clip(result, activation_min, activation_max).astype(np.int8)

@@ -1,0 +1,127 @@
+"""CFU3 (FFT butterfly) tests: Q15 math, golden RTL equality, FFT use."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.accel.audio import (
+    F3_BFLY,
+    F3_CMUL,
+    F3_GET_Y1,
+    F3_SET_TWIDDLE,
+    FftButterflyCfu,
+    FftButterflyRtl,
+    cfu3_resources,
+    _pack,
+    _unpack,
+)
+from repro.cfu import run_sequence
+
+
+def q15(x):
+    return int(round(x * 32768))
+
+
+def from_q15(v):
+    return v / 32768.0
+
+
+def test_pack_unpack_roundtrip():
+    word = _pack(-12345, 6789)
+    assert _unpack(word) == (-12345, 6789)
+
+
+def test_butterfly_with_unit_twiddle():
+    cfu = FftButterflyCfu()
+    cfu.op(F3_SET_TWIDDLE, 0, _pack(32767, 0), 0)  # w ~= 1 + 0j
+    x0 = _pack(q15(0.25), q15(0.10))
+    x1 = _pack(q15(0.05), q15(-0.20))
+    y0 = cfu.op(F3_BFLY, 0, x0, x1)
+    y1 = cfu.op(F3_GET_Y1, 0, 0, 0)
+    y0r, y0i = _unpack(y0)
+    y1r, y1i = _unpack(y1)
+    assert from_q15(y0r) == pytest.approx(0.30, abs=1e-3)
+    assert from_q15(y0i) == pytest.approx(-0.10, abs=1e-3)
+    assert from_q15(y1r) == pytest.approx(0.20, abs=1e-3)
+    assert from_q15(y1i) == pytest.approx(0.30, abs=1e-3)
+
+
+def test_butterfly_with_minus_j_twiddle():
+    cfu = FftButterflyCfu()
+    cfu.op(F3_SET_TWIDDLE, 0, _pack(0, q15(-1.0) + 1), 0)  # w ~= -j
+    x0 = _pack(0, 0)
+    x1 = _pack(q15(0.5), 0)
+    y0 = cfu.op(F3_BFLY, 0, x0, x1)
+    y0r, y0i = _unpack(y0)
+    assert from_q15(y0r) == pytest.approx(0.0, abs=2e-3)
+    assert from_q15(y0i) == pytest.approx(-0.5, abs=2e-3)
+
+
+def test_saturation():
+    cfu = FftButterflyCfu()
+    cfu.op(F3_SET_TWIDDLE, 0, _pack(32767, 0), 0)
+    big = _pack(32767, 32767)
+    y0 = cfu.op(F3_BFLY, 0, big, big)
+    y0r, y0i = _unpack(y0)
+    assert (y0r, y0i) == (32767, 32767)  # clamped, no wraparound
+    y1r, y1i = _unpack(cfu.op(F3_GET_Y1, 0, 0, 0))
+    assert abs(y1r) <= 32767 and abs(y1i) <= 32767
+
+
+def test_rtl_golden_random():
+    rng = random.Random(7)
+    seq = []
+    for _ in range(80):
+        seq.append((F3_SET_TWIDDLE, 0, rng.getrandbits(32), 0))
+        seq.append((F3_BFLY, 0, rng.getrandbits(32), rng.getrandbits(32)))
+        seq.append((F3_GET_Y1, 0, 0, 0))
+        seq.append((F3_CMUL, 0, rng.getrandbits(32), 0))
+    report = run_sequence(FftButterflyRtl(), FftButterflyCfu(), seq)
+    assert report.passed, report.mismatches[:3]
+
+
+def test_full_fft_through_the_cfu():
+    """A complete 16-point FFT computed exclusively with CFU operations
+    matches numpy within Q15 tolerance."""
+    n = 16
+    rng = np.random.default_rng(3)
+    signal = (rng.uniform(-0.03, 0.03, n)
+              + 1j * rng.uniform(-0.03, 0.03, n))  # headroom: |X_k| < 1
+
+    cfu = FftButterflyCfu()
+    # Bit-reversal permutation, then iterative radix-2 stages.
+    data = [signal[int(format(i, f"0{4}b")[::-1], 2)] for i in range(n)]
+    words = [_pack(q15(c.real), q15(c.imag)) for c in data]
+    length = 2
+    while length <= n:
+        half = length // 2
+        for start in range(0, n, length):
+            for k in range(half):
+                w = np.exp(-2j * np.pi * k / length)
+                cfu.op(F3_SET_TWIDDLE, 0,
+                       _pack(min(q15(w.real), 32767),
+                             min(q15(w.imag), 32767)), 0)
+                i, j = start + k, start + k + half
+                y0 = cfu.op(F3_BFLY, 0, words[i], words[j])
+                y1 = cfu.op(F3_GET_Y1, 0, 0, 0)
+                words[i], words[j] = y0, y1
+        length *= 2
+
+    got = np.array([_unpack(w)[0] + 1j * _unpack(w)[1]
+                    for w in words]) / 32768.0
+    expected = np.fft.fft(signal)
+    assert np.abs(got - expected).max() < 0.01
+
+
+def test_resources_budget():
+    resources = cfu3_resources()
+    assert resources.dsps == 4
+    assert resources.logic_cells < 600  # a small CFU, like CFU2
+
+
+def test_latency_model():
+    cfu = FftButterflyCfu()
+    assert cfu.latency(F3_BFLY, 0) == 2
+    assert cfu.ii(F3_BFLY, 0) == 1  # pipelined
+    assert cfu.latency(F3_GET_Y1, 0) == 1

@@ -1,0 +1,114 @@
+"""Generic CFU library tests: every entry passes the golden harness."""
+
+import numpy as np
+import pytest
+
+from repro.accel.library import (
+    LIBRARY,
+    MINMAX_FEED,
+    MINMAX_READ,
+    ByteReverseCfu,
+    MinMaxCfu,
+    PopcountCfu,
+    SimdAddCfu,
+)
+from repro.cfu import assert_equivalent
+from repro.rtl import estimate
+
+
+@pytest.mark.parametrize("name", sorted(LIBRARY))
+def test_library_entry_golden(name):
+    """Gateware == software emulation on 150 random ops, for every CFU."""
+    model_cls, rtl_cls, opcodes = LIBRARY[name]
+    assert_equivalent(rtl_cls(), model_cls(), opcodes, count=150,
+                      seed=hash(name) & 0xFFFF)
+
+
+@pytest.mark.parametrize("name", sorted(LIBRARY))
+def test_library_entry_synthesizes_small(name):
+    """Library CFUs are meant to be cheap building blocks."""
+    _, rtl_cls, _ = LIBRARY[name]
+    report = estimate(rtl_cls().module)
+    assert report.logic_cells < 900, (name, report)
+    assert report.dsps == 0
+
+
+def test_simd_add_wrapping_vs_saturating():
+    cfu = SimdAddCfu()
+    a = 0x7F7F7F7F  # four lanes of +127
+    b = 0x01010101
+    assert cfu.op(0, 0, a, b) == 0x80808080     # wraps to -128
+    assert cfu.op(0, 1, a, b) == 0x7F7F7F7F     # saturates at +127
+
+
+def test_popcount_values():
+    cfu = PopcountCfu()
+    assert cfu.op(0, 0, 0, 0) == 0
+    assert cfu.op(0, 0, 0xFFFFFFFF, 0) == 32
+    assert cfu.op(0, 0, 0b1011, 0) == 3
+    assert cfu.op(0, 1, 0b1011, 0) == 1  # parity
+
+
+def test_minmax_running_reduction():
+    cfu = MinMaxCfu()
+    rng = np.random.default_rng(0)
+    values = rng.integers(-128, 128, size=(6, 8)).astype(np.int8)
+    for row in values:
+        a = int.from_bytes(row[:4].tobytes(), "little")
+        b = int.from_bytes(row[4:].tobytes(), "little")
+        cfu.op(MINMAX_FEED, 0, a, b)
+    packed = cfu.op(MINMAX_READ, 0, 0, 0)
+    got = np.frombuffer(packed.to_bytes(4, "little"), dtype=np.int8)
+    expected = np.maximum(values[:, :4], values[:, 4:]).max(axis=0)
+    assert np.array_equal(got, expected)
+
+
+def test_minmax_read_and_reset():
+    cfu = MinMaxCfu()
+    cfu.op(MINMAX_FEED, 0, 0x05050505, 0x02020202)
+    first = cfu.op(MINMAX_READ, 1, 0, 0)  # read + reset
+    assert first == 0x05050505
+    assert cfu.op(MINMAX_READ, 0, 0, 0) == 0x80808080  # back to -128 lanes
+
+
+def test_byte_reverse():
+    cfu = ByteReverseCfu()
+    assert cfu.op(0, 0, 0x12345678, 0) == 0x78563412
+    assert cfu.op(0, 1, 0x00000001, 0) == 0x80000000
+    assert cfu.op(0, 1, 0x80000000, 0) == 0x00000001
+
+
+def test_bit_reverse_is_involution():
+    cfu = ByteReverseCfu()
+    rng = np.random.default_rng(1)
+    for _ in range(20):
+        value = int(rng.integers(0, 1 << 32))
+        assert cfu.op(0, 1, cfu.op(0, 1, value, 0), 0) == value
+
+
+def test_max_pool_via_cfu_matches_reference():
+    """Use the min/max CFU to compute a real 2x2 max pool and compare
+    with the TFLM reference kernel."""
+    from repro.tflm.ops.pooling import max_pool_reference
+
+    rng = np.random.default_rng(4)
+    data = rng.integers(-128, 128, size=(1, 4, 4, 4)).astype(np.int8)
+    expected = max_pool_reference(data, (2, 2), (2, 2))
+
+    cfu = MinMaxCfu()
+    out = np.empty((1, 2, 2, 4), dtype=np.int8)
+    for y in range(2):
+        for x in range(2):
+            cfu.op(MINMAX_READ, 1, 0, 0)  # reset lanes
+            window = data[0, 2 * y:2 * y + 2, 2 * x:2 * x + 2, :]
+            rows = window.reshape(4, 4)
+            a = int.from_bytes(rows[0].tobytes(), "little")
+            b = int.from_bytes(rows[1].tobytes(), "little")
+            cfu.op(MINMAX_FEED, 0, a, b)
+            a = int.from_bytes(rows[2].tobytes(), "little")
+            b = int.from_bytes(rows[3].tobytes(), "little")
+            cfu.op(MINMAX_FEED, 0, a, b)
+            packed = cfu.op(MINMAX_READ, 0, 0, 0)
+            out[0, y, x, :] = np.frombuffer(packed.to_bytes(4, "little"),
+                                            dtype=np.int8)
+    assert np.array_equal(out, expected)

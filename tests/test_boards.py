@@ -1,0 +1,84 @@
+"""Board model and fitter tests."""
+
+import pytest
+
+from repro.boards import (
+    ARTY_A7_35T,
+    FOMU,
+    ICEBREAKER,
+    ORANGECRAB,
+    FitError,
+    fit,
+    get_board,
+    require_fit,
+)
+from repro.rtl.synth import ResourceReport
+
+
+def test_board_inventories_match_datasheets():
+    assert FOMU.logic_cells == 5280
+    assert FOMU.dsp_blocks == 8
+    assert FOMU.sram_bytes == 128 * 1024
+    assert FOMU.flash_bytes == 2 * 1024 * 1024
+    assert FOMU.bram_bits == 30 * 512 * 8
+    assert ARTY_A7_35T.external_ram_bytes == 256 * 1024 * 1024
+    assert ARTY_A7_35T.dsp_blocks == 90
+
+
+def test_board_lookup():
+    assert get_board("fomu") is FOMU
+    assert get_board("arty_a7_35t") is ARTY_A7_35T
+    with pytest.raises(KeyError):
+        get_board("de10-nano")
+
+
+def test_supported_families_match_paper():
+    """'Xilinx 7-Series as well as the Lattice iCE40, ECP5' (Sec. II-C)."""
+    families = {b.family for b in (ARTY_A7_35T, FOMU, ICEBREAKER, ORANGECRAB)}
+    assert {"xilinx7", "ice40", "ecp5"} <= families
+
+
+def test_fit_within_budget():
+    result = fit(FOMU, ResourceReport(luts=1000, ffs=500, dsps=2))
+    assert result.ok
+    assert result.cell_utilization < 0.5
+
+
+def test_fit_rejects_cell_overflow():
+    result = fit(FOMU, ResourceReport(luts=6000))
+    assert not result.ok
+    assert any("logic cells" in m for m in result.messages)
+
+
+def test_fit_rejects_dsp_overflow():
+    result = fit(FOMU, ResourceReport(luts=100, dsps=9))
+    assert not result.ok
+    assert any("DSP" in m for m in result.messages)
+
+
+def test_fit_rejects_bram_overflow():
+    result = fit(FOMU, ResourceReport(luts=100, bram_bits=FOMU.bram_bits + 1))
+    assert not result.ok
+
+
+def test_routability_margin():
+    """A design at 100% of the cells must not 'fit' — it will not route."""
+    result = fit(FOMU, ResourceReport(luts=FOMU.logic_cells))
+    assert not result.ok
+
+
+def test_fit_sums_multiple_reports():
+    half = ResourceReport(luts=2700)
+    assert fit(FOMU, half).ok
+    assert not fit(FOMU, half, half).ok
+
+
+def test_require_fit_raises():
+    with pytest.raises(FitError):
+        require_fit(FOMU, ResourceReport(luts=10_000))
+
+
+def test_fit_summary_renders():
+    text = fit(FOMU, ResourceReport(luts=1000, dsps=4, bram_bits=8192)).summary()
+    assert "fomu" in text
+    assert "DSP blocks" in text

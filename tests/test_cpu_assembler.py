@@ -1,0 +1,171 @@
+"""Assembler tests: labels, pseudo-instructions, data directives."""
+
+import pytest
+
+from repro.cpu import AssemblerError, Machine, assemble, decode, disassemble
+
+
+def run(source, max_instructions=100_000):
+    machine = Machine()
+    machine.load_assembly(source)
+    machine.run(max_instructions)
+    return machine
+
+
+def test_forward_and_backward_labels():
+    code, symbols = assemble("""
+    start:
+        j end
+    middle:
+        nop
+    end:
+        j middle
+    """)
+    assert symbols["start"] == 0
+    assert symbols["middle"] == 4
+    assert symbols["end"] == 8
+
+
+def test_li_small_and_large():
+    machine = run("""
+        li a0, 42
+        li a1, 0x12345678
+        li a2, -1
+        add a0, a0, x0
+        li a7, 93
+        ecall
+    """)
+    assert machine.regs[10] == 42
+    assert machine.regs[11] == 0x12345678
+    assert machine.regs[12] == 0xFFFFFFFF
+
+
+def test_li_hi_lo_carry_case():
+    # Low 12 bits >= 0x800 force a +1 carry into the LUI part.
+    machine = run("""
+        li a0, 0x12345FFF
+        li a7, 93
+        ecall
+    """)
+    assert machine.regs[10] == 0x12345FFF
+
+
+def test_branches_and_loop():
+    machine = run("""
+        li t0, 5
+        li a0, 0
+    loop:
+        add a0, a0, t0
+        addi t0, t0, -1
+        bnez t0, loop
+        li a7, 93
+        ecall
+    """)
+    assert machine.exit_code == 15
+
+
+def test_call_and_ret():
+    machine = run("""
+        li a0, 0
+        call double_it
+        call double_it
+        li a7, 93
+        ecall
+    double_it:
+        addi a0, a0, 7
+        ret
+    """)
+    assert machine.exit_code == 14
+
+
+def test_word_and_byte_directives():
+    machine = Machine()
+    machine.load_assembly("""
+        j code
+    data:
+        .word 0xDEADBEEF
+        .byte 0x42
+        .zero 3
+    code:
+        lw a0, data(x0)
+        lbu a1, 8(x0)
+        li a7, 93
+        ecall
+    """)
+    machine.run()
+    assert machine.regs[10] == 0xDEADBEEF
+    assert machine.regs[11] == 0x42
+
+
+def test_word_can_reference_label():
+    code, symbols = assemble("""
+    table:
+        .word target
+    target:
+        nop
+    """)
+    assert int.from_bytes(code[0:4], "little") == symbols["target"]
+
+
+def test_memory_operand_syntax():
+    machine = run("""
+        li sp, 0x1000
+        li a0, 77
+        sw a0, -4(sp)
+        lw a1, -4(sp)
+        li a7, 93
+        ecall
+    """)
+    assert machine.regs[11] == 77
+
+
+def test_pseudo_instructions():
+    machine = run("""
+        li a0, 5
+        mv a1, a0
+        not a2, a0
+        seqz a3, x0
+        snez a4, a0
+        li a7, 93
+        ecall
+    """)
+    assert machine.regs[11] == 5
+    assert machine.regs[12] == 0xFFFFFFFA
+    assert machine.regs[13] == 1
+    assert machine.regs[14] == 1
+
+
+def test_cfu_mnemonic_roundtrip():
+    code, _ = assemble("cfu 9, 3, a0, a1, a2")
+    text = disassemble(int.from_bytes(code[0:4], "little"))
+    assert text == "cfu 9, 3, x10, x11, x12"
+
+
+def test_comments_stripped():
+    code, _ = assemble("""
+        nop  # trailing comment
+        // full line comment
+        nop
+    """)
+    assert len(code) == 8
+
+
+def test_unknown_mnemonic_raises():
+    with pytest.raises(AssemblerError):
+        assemble("bogus a0, a1")
+
+
+def test_unknown_symbol_raises():
+    with pytest.raises(AssemblerError):
+        assemble("j nowhere")
+
+
+def test_rdcycle_reads_cycle_counter():
+    machine = run("""
+        nop
+        nop
+        rdcycle a0
+        li a7, 93
+        ecall
+    """)
+    assert machine.exit_code >= 2

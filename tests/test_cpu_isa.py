@@ -1,0 +1,92 @@
+"""ISA encode/decode tests, including property-based roundtrips."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cpu import decode, disassemble, encode_cfu, register_number
+from repro.cpu import isa
+
+regs = st.integers(min_value=0, max_value=31)
+
+
+def test_register_names():
+    assert register_number("x0") == 0
+    assert register_number("zero") == 0
+    assert register_number("sp") == 2
+    assert register_number("a0") == 10
+    assert register_number("t6") == 31
+    assert register_number("fp") == register_number("s0") == 8
+
+
+@given(rd=regs, rs1=regs, rs2=regs,
+       funct3=st.integers(0, 7), funct7=st.integers(0, 127))
+def test_r_format_roundtrip(rd, rs1, rs2, funct3, funct7):
+    word = isa.encode_r(isa.OPCODE_OP, rd, funct3, rs1, rs2, funct7)
+    ins = decode(word)
+    assert (ins.rd, ins.rs1, ins.rs2) == (rd, rs1, rs2)
+    assert (ins.funct3, ins.funct7) == (funct3, funct7)
+
+
+@given(rd=regs, rs1=regs, imm=st.integers(-2048, 2047))
+def test_i_format_roundtrip(rd, rs1, imm):
+    word = isa.encode_i(isa.OPCODE_OP_IMM, rd, 0, rs1, imm)
+    ins = decode(word)
+    assert ins.imm == imm
+    assert ins.rd == rd and ins.rs1 == rs1
+
+
+@given(rs1=regs, rs2=regs, imm=st.integers(-2048, 2047))
+def test_s_format_roundtrip(rs1, rs2, imm):
+    word = isa.encode_s(isa.OPCODE_STORE, 2, rs1, rs2, imm)
+    ins = decode(word)
+    assert ins.imm == imm
+
+
+@given(rs1=regs, rs2=regs,
+       imm=st.integers(-2048, 2047).map(lambda x: x * 2))
+def test_b_format_roundtrip(rs1, rs2, imm):
+    word = isa.encode_b(isa.OPCODE_BRANCH, 0, rs1, rs2, imm)
+    ins = decode(word)
+    assert ins.imm == imm
+
+
+@given(rd=regs, imm=st.integers(-(1 << 19), (1 << 19) - 1).map(lambda x: x * 2))
+def test_j_format_roundtrip(rd, imm):
+    word = isa.encode_j(isa.OPCODE_JAL, rd, imm)
+    ins = decode(word)
+    assert ins.imm == imm
+
+
+@given(rd=regs, imm=st.integers(0, (1 << 20) - 1))
+def test_u_format_roundtrip(rd, imm):
+    word = isa.encode_u(isa.OPCODE_LUI, rd, imm)
+    ins = decode(word)
+    assert (ins.imm >> 12) & 0xFFFFF == imm
+
+
+@given(rd=regs, rs1=regs, rs2=regs,
+       funct3=st.integers(0, 7), funct7=st.integers(0, 127))
+def test_cfu_encoding_uses_custom0(rd, rs1, rs2, funct3, funct7):
+    word = encode_cfu(funct7, funct3, rd, rs1, rs2)
+    ins = decode(word)
+    assert ins.opcode == isa.OPCODE_CUSTOM0
+    assert isa.is_cfu(ins)
+    assert (ins.funct3, ins.funct7) == (funct3, funct7)
+
+
+def test_immediate_range_checked():
+    import pytest
+
+    with pytest.raises(ValueError):
+        isa.encode_i(isa.OPCODE_OP_IMM, 1, 0, 1, 5000)
+    with pytest.raises(ValueError):
+        isa.encode_b(isa.OPCODE_BRANCH, 0, 1, 2, 3)  # odd offset
+
+
+def test_disassembler_smoke():
+    assert disassemble(isa.encode_r(isa.OPCODE_OP, 3, 0, 1, 2, 0)) == "add x3, x1, x2"
+    assert disassemble(isa.encode_r(isa.OPCODE_OP, 3, 0, 1, 2, 0x20)) == "sub x3, x1, x2"
+    assert disassemble(isa.encode_i(isa.OPCODE_LOAD, 5, 2, 8, -4)) == "lw x5, -4(x8)"
+    assert disassemble(encode_cfu(9, 3, 1, 2, 3)) == "cfu 9, 3, x1, x2, x3"
+    assert disassemble(0x00000073) == "ecall"
+    assert disassemble(0x00100073) == "ebreak"

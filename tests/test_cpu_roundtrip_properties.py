@@ -1,0 +1,84 @@
+"""Property tests: assembler -> machine-code -> disassembler coherence."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu import assemble, decode, disassemble
+from repro.cpu import isa
+
+regs = st.integers(1, 31)
+
+
+@st.composite
+def instructions(draw):
+    """Random assemblable instruction text."""
+    kind = draw(st.sampled_from(
+        ["r", "i", "shift", "load", "store", "branch", "cfu", "lui"]))
+    rd = f"x{draw(regs)}"
+    rs1 = f"x{draw(regs)}"
+    rs2 = f"x{draw(regs)}"
+    if kind == "r":
+        mnemonic = draw(st.sampled_from(
+            ["add", "sub", "sll", "slt", "sltu", "xor", "srl", "sra", "or",
+             "and", "mul", "mulh", "mulhsu", "mulhu", "div", "divu", "rem",
+             "remu"]))
+        return f"{mnemonic} {rd}, {rs1}, {rs2}"
+    if kind == "i":
+        mnemonic = draw(st.sampled_from(
+            ["addi", "slti", "sltiu", "xori", "ori", "andi"]))
+        imm = draw(st.integers(-2048, 2047))
+        return f"{mnemonic} {rd}, {rs1}, {imm}"
+    if kind == "shift":
+        mnemonic = draw(st.sampled_from(["slli", "srli", "srai"]))
+        return f"{mnemonic} {rd}, {rs1}, {draw(st.integers(0, 31))}"
+    if kind == "load":
+        mnemonic = draw(st.sampled_from(["lb", "lh", "lw", "lbu", "lhu"]))
+        return f"{mnemonic} {rd}, {draw(st.integers(-2048, 2047))}({rs1})"
+    if kind == "store":
+        mnemonic = draw(st.sampled_from(["sb", "sh", "sw"]))
+        return f"{mnemonic} {rs2}, {draw(st.integers(-2048, 2047))}({rs1})"
+    if kind == "branch":
+        mnemonic = draw(st.sampled_from(
+            ["beq", "bne", "blt", "bge", "bltu", "bgeu"]))
+        offset = draw(st.integers(-512, 511)) * 2
+        return f"{mnemonic} {rs1}, {rs2}, {offset}"
+    if kind == "cfu":
+        f7 = draw(st.integers(0, 127))
+        f3 = draw(st.integers(0, 7))
+        return f"cfu {f7}, {f3}, {rd}, {rs1}, {rs2}"
+    return f"lui {rd}, {draw(st.integers(0, (1 << 20) - 1))}"
+
+
+@settings(max_examples=300, deadline=None)
+@given(text=instructions())
+def test_assemble_disassemble_reassemble(text):
+    """asm(text) == asm(disasm(asm(text))) — the full round trip."""
+    code, _ = assemble(text)
+    assert len(code) == 4
+    word = int.from_bytes(code, "little")
+    rendered = disassemble(word)
+    code2, _ = assemble(rendered)
+    assert code2 == code, (text, rendered)
+
+
+@settings(max_examples=300, deadline=None)
+@given(text=instructions())
+def test_decode_fields_are_consistent(text):
+    code, _ = assemble(text)
+    ins = decode(int.from_bytes(code, "little"))
+    assert 0 <= ins.rd < 32 and 0 <= ins.rs1 < 32 and 0 <= ins.rs2 < 32
+    assert ins.opcode & 0b11 == 0b11  # 32-bit encoding
+
+
+@settings(max_examples=100, deadline=None)
+@given(f7=st.integers(0, 127), f3=st.integers(0, 7),
+       rd=regs, rs1=regs, rs2=regs)
+def test_cfu_opcode_never_collides_with_rv32im(f7, f3, rd, rs1, rs2):
+    word = isa.encode_cfu(f7, f3, rd, rs1, rs2)
+    ins = decode(word)
+    assert ins.opcode == isa.OPCODE_CUSTOM0
+    assert ins.opcode not in (
+        isa.OPCODE_OP, isa.OPCODE_OP_IMM, isa.OPCODE_LOAD, isa.OPCODE_STORE,
+        isa.OPCODE_BRANCH, isa.OPCODE_JAL, isa.OPCODE_JALR, isa.OPCODE_LUI,
+        isa.OPCODE_AUIPC, isa.OPCODE_SYSTEM,
+    )

@@ -1,0 +1,96 @@
+"""DSE validation against exhaustive enumeration.
+
+On a reduced CPU space small enough to enumerate completely, the
+black-box optimizer must recover (nearly) the true Pareto front — the
+evidence that Fig. 7's sampled fronts are trustworthy on the full
+93k-point space where enumeration is impossible.
+"""
+
+import pytest
+
+from repro.dse import (
+    Fig7Evaluator,
+    MetricGoal,
+    Parameter,
+    ParameterSpace,
+    RegularizedEvolution,
+    Study,
+    hypervolume_2d,
+    pareto_front,
+)
+
+REDUCED_SPACE = ParameterSpace([
+    Parameter("bypassing", (False, True)),
+    Parameter("branch_prediction", ("none", "dynamic_target")),
+    Parameter("multiplier", ("iterative", "single_cycle")),
+    Parameter("divider", ("iterative",)),
+    Parameter("shifter", ("barrel",)),
+    Parameter("hw_error_checking", (False,)),
+    Parameter("icache_bytes", (0, 4096, 32768)),
+    Parameter("dcache_bytes", (0, 4096, 32768)),
+    Parameter("icache_ways", (1,)),
+])
+
+
+@pytest.fixture(scope="module")
+def evaluator():
+    return Fig7Evaluator()
+
+
+@pytest.fixture(scope="module")
+def true_front(evaluator):
+    points = []
+    for point in REDUCED_SPACE.grid():
+        result = evaluator.evaluate(point, "none")
+        if result is not None:
+            points.append(result)
+    assert len(points) == REDUCED_SPACE.size() == 72
+    return pareto_front(points, key=lambda p: p.metrics)
+
+
+def test_exhaustive_front_structure(true_front):
+    metrics = [p.metrics for p in true_front]
+    assert metrics == pareto_front(metrics)
+    assert 2 <= len(true_front) <= 30
+    # The fastest true design has caches; the smallest has none.
+    fastest = min(true_front, key=lambda p: p.cycles)
+    smallest = min(true_front, key=lambda p: p.logic_cells)
+    assert fastest.parameters["dcache_bytes"] > 0
+    assert smallest.parameters["icache_bytes"] == 0
+
+
+def test_evolution_recovers_the_true_front(evaluator, true_front):
+    study = Study(
+        REDUCED_SPACE,
+        goals=[MetricGoal("cycles"), MetricGoal("logic_cells")],
+        algorithm=RegularizedEvolution(warmup=16, population_size=32),
+        seed=11,
+    )
+    found = []
+
+    def evaluate(parameters):
+        point = evaluator.evaluate(parameters, "none")
+        if point is None:
+            return None
+        found.append(point)
+        return {"cycles": point.cycles, "logic_cells": point.logic_cells}
+
+    study.run(evaluate, budget=60)  # < the 72-point exhaustive budget
+    found_front = pareto_front(found, key=lambda p: p.metrics)
+
+    reference = (max(p.cycles for p in found) * 2,
+                 max(p.logic_cells for p in found) * 2)
+    true_volume = hypervolume_2d([p.metrics for p in true_front], reference)
+    found_volume = hypervolume_2d([p.metrics for p in found_front], reference)
+    assert found_volume >= 0.9 * true_volume
+
+    # The single fastest and single smallest designs must be found exactly.
+    assert (min(p.cycles for p in found_front)
+            == min(p.cycles for p in true_front))
+
+
+def test_front_respects_monotonicity(true_front):
+    """Along the true front, spending more cells must buy speed."""
+    ordered = sorted(true_front, key=lambda p: p.logic_cells)
+    cycles = [p.cycles for p in ordered]
+    assert all(b <= a for a, b in zip(cycles, cycles[1:]))

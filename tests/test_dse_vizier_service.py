@@ -1,0 +1,122 @@
+"""Vizier service facade tests."""
+
+import pytest
+
+from repro.dse import (
+    Parameter,
+    ParameterSpace,
+    RegularizedEvolution,
+    VizierError,
+    VizierService,
+)
+
+
+def toy_space():
+    return ParameterSpace([
+        Parameter("x", tuple(range(8))),
+        Parameter("y", tuple(range(8))),
+    ])
+
+
+def loss(params):
+    return (params["x"] - 5) ** 2 + (params["y"] - 2) ** 2
+
+
+@pytest.fixture
+def service():
+    return VizierService()
+
+
+def test_create_and_get_study(service):
+    record = service.create_study("me", "s1", toy_space(), ["loss"])
+    assert record.resource_name == "owners/me/studies/s1"
+    assert service.get_study(record.resource_name) is record
+
+
+def test_duplicate_study_rejected(service):
+    service.create_study("me", "s1", toy_space(), ["loss"])
+    with pytest.raises(VizierError):
+        service.create_study("me", "s1", toy_space(), ["loss"])
+
+
+def test_client_suggest_complete_loop(service):
+    record = service.create_study("me", "opt", toy_space(), ["loss"], seed=1)
+    client = service.client(record.resource_name, worker_id="w0")
+    for _ in range(30):
+        trial = client.suggest()
+        client.complete(trial, {"loss": loss(trial.parameters)})
+    best = record.study.best_trial()
+    assert best.metrics["loss"] <= 9
+
+
+def test_two_workers_share_a_study(service):
+    record = service.create_study("me", "shared", toy_space(), ["loss"])
+    w0 = service.client(record.resource_name, "w0")
+    w1 = service.client(record.resource_name, "w1")
+    t0, t1 = w0.suggest(), w1.suggest()
+    assert t0.trial_id != t1.trial_id
+    w0.complete(t0, {"loss": 1.0})
+    w1.complete(t1, {"loss": 2.0})
+    assert len(record.study.completed_trials()) == 2
+    assert record.workers == {"w0", "w1"}
+
+
+def test_completing_foreign_trial_rejected(service):
+    record = service.create_study("me", "s", toy_space(), ["loss"])
+    w0 = service.client(record.resource_name, "w0")
+    w1 = service.client(record.resource_name, "w1")
+    trial = w0.suggest()
+    with pytest.raises(VizierError):
+        w1.complete(trial, {"loss": 0.0})
+
+
+def test_stopped_study_rejects_suggestions(service):
+    record = service.create_study("me", "s", toy_space(), ["loss"])
+    client = service.client(record.resource_name)
+    service.stop_study(record.resource_name)
+    with pytest.raises(VizierError):
+        client.suggest()
+
+
+def test_list_and_delete(service):
+    service.create_study("alice", "a1", toy_space(), ["loss"])
+    service.create_study("bob", "b1", toy_space(), ["loss"])
+    assert len(service.list_studies()) == 2
+    assert len(service.list_studies(owner="alice")) == 1
+    service.delete_study("owners/bob/studies/b1")
+    assert not service.list_studies(owner="bob")
+    with pytest.raises(VizierError):
+        service.get_study("owners/bob/studies/b1")
+
+
+def test_early_stopping_policy(service):
+    record = service.create_study("me", "es", toy_space(), ["loss"], seed=2)
+    client = service.client(record.resource_name)
+    # Feed a plateau: first trial is optimal, the rest never improve.
+    trial = client.suggest()
+    client.complete(trial, {"loss": 0.0})
+    for _ in range(25):
+        t = client.suggest()
+        client.complete(t, {"loss": 10.0})
+    assert service.should_stop_early(record.resource_name, patience=20)
+
+
+def test_early_stopping_not_triggered_while_improving(service):
+    record = service.create_study("me", "go", toy_space(), ["loss"])
+    client = service.client(record.resource_name)
+    for value in range(30, 0, -1):  # monotone improvement
+        t = client.suggest()
+        client.complete(t, {"loss": float(value)})
+    assert not service.should_stop_early(record.resource_name, patience=10)
+
+
+def test_with_evolution_algorithm(service):
+    record = service.create_study("me", "evo", toy_space(), ["loss"],
+                                  algorithm=RegularizedEvolution(warmup=10),
+                                  seed=4)
+    client = service.client(record.resource_name)
+    for _ in range(60):
+        trial = client.suggest()
+        client.complete(trial, {"loss": loss(trial.parameters)})
+    assert record.study.best_trial().metrics["loss"] <= 4
+    assert client.optimal_trials()

@@ -1,0 +1,100 @@
+"""Energy-model tests (the paper's future-work extension)."""
+
+import pytest
+
+from repro.boards import ARTY_A7_35T, FOMU, fit
+from repro.core.ladders import (
+    FOMU_BASELINE_CPU,
+    kws_initial_state,
+    kws_ladder,
+    run_ladder,
+)
+from repro.cpu.vexriscv import ARTY_DEFAULT
+from repro.models import load
+from repro.perf import (
+    EnergyModel,
+    energy_per_inference,
+    estimate_inference,
+    static_power_mw,
+)
+from repro.rtl.synth import ResourceReport
+from repro.soc import Soc
+
+
+@pytest.fixture(scope="module")
+def kws():
+    return load("dscnn_kws")
+
+
+def test_static_power_scales_with_resources():
+    small = static_power_mw(ResourceReport(luts=1000))
+    big = static_power_mw(ResourceReport(luts=5000, dsps=8,
+                                         bram_bits=100_000))
+    assert big > small > 0
+
+
+def test_energy_breakdown_totals(kws):
+    soc = Soc(ARTY_A7_35T, ARTY_DEFAULT)
+    fit_result = fit(ARTY_A7_35T, soc.resources())
+    energy, estimate = energy_per_inference(kws, soc.system_config(),
+                                            fit_result)
+    parts = (energy.compute_uj + energy.memory_uj + energy.fetch_uj
+             + energy.cfu_uj + energy.static_uj)
+    assert energy.total_uj == pytest.approx(parts)
+    assert energy.total_uj > 0
+    assert estimate.total_cycles > 0
+
+
+def test_flash_resident_weights_cost_more_energy(kws):
+    """Moving weights from flash to SRAM must save data-movement energy
+    (the energy-side of the 'SRAM Ops and Model' step)."""
+    soc = Soc(FOMU, FOMU_BASELINE_CPU)
+    for feature in ("timer", "ctrl", "rgb", "touch"):
+        soc.remove_peripheral(feature)
+    fit_result = fit(FOMU, soc.resources())
+    flash, _ = energy_per_inference(kws, soc.system_config(), fit_result)
+    sram, _ = energy_per_inference(
+        kws, soc.system_config(placement={"model_weights": "sram"}),
+        fit_result)
+    assert sram.memory_uj < flash.memory_uj / 5
+
+
+def test_faster_inference_cuts_static_energy(kws):
+    """Race-to-idle: the CFU's higher static power is repaid by runtime."""
+    results = run_ladder(kws_ladder(), kws_initial_state())
+    model = EnergyModel()
+    baseline = model.estimate(results[0].estimate, results[0].fit)
+    final = model.estimate(results[-1].estimate, results[-1].fit)
+    assert final.static_uj < baseline.static_uj / 10
+    assert final.total_uj < baseline.total_uj
+
+
+def test_energy_ladder_monotone_overall(kws):
+    """Every Fig. 6 rung should also reduce energy per inference."""
+    results = run_ladder(kws_ladder(), kws_initial_state())
+    model = EnergyModel()
+    energies = [model.estimate(r.estimate, r.fit).total_uj for r in results]
+    assert energies[-1] < energies[0] / 10
+    # Weak monotonicity: no rung may regress energy by more than 10%.
+    for before, after in zip(energies, energies[1:]):
+        assert after < before * 1.1
+
+
+def test_cfu_energy_attributed(kws):
+    from repro.kernels.kws import kws_variants
+    from repro.kernels.reference import reference_variants
+
+    soc = Soc(ARTY_A7_35T, ARTY_DEFAULT)
+    fit_result = fit(ARTY_A7_35T, soc.resources())
+    variants = reference_variants().extended(*kws_variants(postproc=True))
+    estimate = estimate_inference(kws, soc.system_config(), variants)
+    energy = EnergyModel().estimate(estimate, fit_result)
+    assert energy.cfu_uj > 0
+
+
+def test_summary_renders(kws):
+    soc = Soc(ARTY_A7_35T, ARTY_DEFAULT)
+    fit_result = fit(ARTY_A7_35T, soc.resources())
+    energy, _ = energy_per_inference(kws, soc.system_config(), fit_result)
+    text = energy.summary()
+    assert "uJ" in text and "static" in text

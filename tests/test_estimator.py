@@ -1,0 +1,104 @@
+"""Whole-model estimator tests: profiles, shares, reporting."""
+
+import pytest
+
+from repro.boards import ARTY_A7_35T, FOMU
+from repro.core.ladders import FOMU_BASELINE_CPU
+from repro.cpu.vexriscv import ARTY_DEFAULT
+from repro.kernels.reference import reference_variants
+from repro.models import load
+from repro.perf.estimator import FrameworkOverhead, estimate_inference
+from repro.soc import Soc
+
+
+@pytest.fixture(scope="module")
+def mnv2():
+    return load("mobilenet_v2", width_multiplier=0.75, num_classes=100)
+
+
+@pytest.fixture(scope="module")
+def arty_system():
+    return Soc(ARTY_A7_35T, ARTY_DEFAULT).system_config()
+
+
+def test_profile_structure(mnv2, arty_system):
+    estimate = estimate_inference(mnv2, arty_system)
+    assert len(estimate.op_costs) == len(mnv2.operators)
+    assert estimate.total_cycles > sum(0 for _ in estimate.op_costs)
+    assert estimate.overhead_cycles > 0
+
+
+def test_mnv2_profile_matches_paper_shape(mnv2, arty_system):
+    """Section III-A: convolutions ~95% of execution; 1x1 the largest;
+    depthwise second; 3x3 third."""
+    estimate = estimate_inference(mnv2, arty_system)
+    shares = {k: v / estimate.total_cycles
+              for k, v in estimate.by_opcode(split_conv_1x1=True).items()}
+    conv_total = (shares.get("CONV_2D_1x1", 0)
+                  + shares.get("CONV_2D_other", 0)
+                  + shares.get("DEPTHWISE_CONV_2D", 0))
+    assert conv_total > 0.9
+    assert shares["CONV_2D_1x1"] > shares["DEPTHWISE_CONV_2D"]
+    assert shares["DEPTHWISE_CONV_2D"] > shares["CONV_2D_other"]
+
+
+def test_kws_baseline_flash_dominated():
+    """Section III-B: the baseline spends most time on flash accesses —
+    QuadSPI alone must recover > 2x."""
+    kws = load("dscnn_kws")
+    soc = Soc(FOMU, FOMU_BASELINE_CPU)
+    spi = estimate_inference(kws, soc.system_config())
+    soc.upgrade_to_quad_spi()
+    qspi = estimate_inference(kws, soc.system_config())
+    assert spi.total_cycles / qspi.total_cycles > 2.0
+
+
+def test_cycles_per_mac_sane(mnv2, arty_system):
+    estimate = estimate_inference(mnv2, arty_system)
+    conv_costs = [c for c in estimate.op_costs
+                  if c.opcode == "CONV_2D" and c.macs > 100_000]
+    for cost in conv_costs:
+        assert 5 < cost.cycles_per_mac < 80
+
+
+def test_seconds_uses_clock(mnv2, arty_system):
+    estimate = estimate_inference(mnv2, arty_system)
+    assert estimate.seconds == pytest.approx(
+        estimate.total_cycles / arty_system.clock_hz)
+
+
+def test_summary_and_table_render(mnv2, arty_system):
+    estimate = estimate_inference(mnv2, arty_system)
+    summary = estimate.summary(split_conv_1x1=True)
+    assert "CONV_2D_1x1" in summary
+    table = estimate.per_op_table()
+    assert "cyc/MAC" in table
+    assert "conv_first_3x3" in table
+
+
+def test_framework_overhead_scales_with_ops(arty_system):
+    small = load("dscnn_kws")
+    big = load("mobilenet_v2", width_multiplier=0.75, num_classes=100)
+    overhead = FrameworkOverhead()
+    assert overhead.cycles(big, arty_system) > overhead.cycles(small, arty_system)
+
+
+def test_variant_column_in_profile(mnv2, arty_system):
+    from repro.kernels.conv1x1 import OverlapInput
+
+    variants = reference_variants().extended(OverlapInput())
+    estimate = estimate_inference(mnv2, arty_system, variants)
+    names = {c.variant for c in estimate.op_costs if c.opcode == "CONV_2D"}
+    assert names == {"overlap-input", "reference"}
+
+
+def test_op_costs_carry_breakdowns(mnv2, arty_system):
+    """The estimator snapshots each variant's CostBreakdown (the energy
+    model and profilers depend on it)."""
+    estimate = estimate_inference(mnv2, arty_system)
+    conv = next(c for c in estimate.op_costs if c.opcode == "CONV_2D")
+    assert conv.breakdown is not None
+    assert conv.breakdown.total == pytest.approx(conv.cycles)
+    assert conv.instructions > 0
+    assert conv.breakdown.compute > 0
+    assert conv.breakdown.memory > 0

@@ -1,0 +1,41 @@
+"""Smoke tests: the fast examples must run end to end (no rot)."""
+
+import os
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+
+def run_example(name, capsys):
+    path = os.path.join(EXAMPLES, name)
+    runpy.run_path(path, run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_custom_cfu_tutorial(capsys):
+    out = run_example("custom_cfu_tutorial.py", capsys)
+    assert "PASS: 200 operations" in out
+    assert "program exit value: 9" in out
+    assert "VCD written" in out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "golden test PASSED" in out
+    assert "cfu" in out
+
+
+def test_image_classification_walkthrough(capsys):
+    out = run_example("image_classification_arty.py", capsys)
+    assert "overlap-input" in out
+    assert "1x1 CONV_2D" in out
+
+
+def test_keyword_spotting_walkthrough(capsys):
+    out = run_example("keyword_spotting_fomu.py", capsys)
+    assert "LinkError (expected)" in out
+    assert "sw-spec" in out
+    assert "8/8 DSP" in out or "DSP tiles" in out

@@ -1,0 +1,80 @@
+"""Menu-driven firmware model tests."""
+
+import pytest
+
+from repro.boards import ARTY_A7_35T
+from repro.core import Playground, build_firmware_menu
+from repro.core.menu import Menu, UartConsole
+from repro.kernels.kws import kws_variants
+from repro.models import load
+
+
+@pytest.fixture
+def playground():
+    return Playground(ARTY_A7_35T, load("dscnn_kws"))
+
+
+def test_menu_renders_entries(playground):
+    root, console = build_firmware_menu(playground)
+    root.render()
+    text = console.text()
+    assert "TFLite Micro tests" in text
+    assert "profile one inference" in text
+
+
+def test_golden_test_entry(playground):
+    root, console = build_firmware_menu(playground)
+    submenu = root.select("1")
+    assert isinstance(submenu, Menu)
+    assert submenu.select("g") is True
+    assert "golden test OK" in console.text()
+
+
+def test_kernel_tests_entry(playground):
+    playground.swap_kernel(*kws_variants(postproc=True, specialized=True))
+    root, console = build_firmware_menu(playground)
+    submenu = root.select("1")
+    assert submenu.select("k") is True
+    assert "/13 OK" in console.text()
+
+
+def test_run_model_entry(playground):
+    root, console = build_firmware_menu(playground)
+    output = root.select("2")
+    assert output.shape == (1, 12)
+    assert "inference done" in console.text()
+
+
+def test_profile_entry(playground):
+    root, console = build_firmware_menu(playground)
+    estimate = root.select("3")
+    assert estimate.total_cycles > 0
+    assert "CONV_2D" in console.text()
+
+
+def test_resource_report_entry(playground):
+    root, console = build_firmware_menu(playground)
+    fit = root.select("4")
+    assert fit.ok
+    assert "logic cells" in console.text()
+
+
+def test_unknown_selection(playground):
+    root, console = build_firmware_menu(playground)
+    assert root.select("9") is None
+    assert "unknown selection" in console.text()
+
+
+def test_output_reaches_uart(playground):
+    root, console = build_firmware_menu(playground)
+    root.select("1").select("g")
+    uart_text = playground.soc.peripheral("uart").text()
+    assert "golden test OK" in uart_text
+
+
+def test_duplicate_key_rejected():
+    console = UartConsole()
+    menu = Menu("t", console)
+    menu.add("1", "a", lambda: None)
+    with pytest.raises(ValueError):
+        menu.add("1", "b", lambda: None)

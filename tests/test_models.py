@@ -1,0 +1,117 @@
+"""Model zoo tests: topology, op mixes, golden stability."""
+
+import numpy as np
+import pytest
+
+from repro.core.golden import golden_checksum, golden_input
+from repro.models import (
+    build_autoencoder_ad,
+    build_dscnn_kws,
+    build_mobilenet_v1_vww,
+    build_mobilenet_v2,
+    build_resnet8_ic,
+    conv_1x1_ops,
+    load,
+)
+from repro.tflm import Interpreter
+
+
+@pytest.fixture(scope="module")
+def mnv2():
+    return load("mobilenet_v2", width_multiplier=0.75, num_classes=100)
+
+
+@pytest.fixture(scope="module")
+def kws():
+    return load("dscnn_kws")
+
+
+def test_zoo_load_caches(mnv2):
+    again = load("mobilenet_v2", width_multiplier=0.75, num_classes=100)
+    assert again is mnv2
+
+
+def test_zoo_unknown_model():
+    with pytest.raises(KeyError):
+        load("resnet152")
+
+
+def test_mnv2_topology(mnv2):
+    assert mnv2.input.shape == (1, 96, 96, 3)
+    assert mnv2.output.shape == (1, 100)
+    opcodes = {op.opcode for op in mnv2.operators}
+    assert {"CONV_2D", "DEPTHWISE_CONV_2D", "ADD", "MEAN",
+            "FULLY_CONNECTED", "SOFTMAX"} <= opcodes
+    # 17 inverted-residual blocks plus stem/head.
+    assert sum(1 for op in mnv2.operators
+               if op.opcode == "DEPTHWISE_CONV_2D") == 17
+
+
+def test_mnv2_1x1_convs_dominate_macs(mnv2):
+    ops_1x1 = conv_1x1_ops(mnv2)
+    macs_1x1 = sum(op.macs for op in ops_1x1)
+    assert len(ops_1x1) > 30
+    assert macs_1x1 / mnv2.total_macs() > 0.6
+
+
+def test_mnv2_residual_structure(mnv2):
+    adds = [op for op in mnv2.operators if op.opcode == "ADD"]
+    assert len(adds) == 10  # MNV2 has 10 identity residuals
+
+
+def test_kws_topology(kws):
+    assert kws.input.shape == (1, 49, 10, 1)
+    assert kws.output.shape == (1, 12)
+    dw = [op for op in kws.operators if op.opcode == "DEPTHWISE_CONV_2D"]
+    assert len(dw) == 4
+    assert 2_000_000 < kws.total_macs() < 4_000_000  # MLPerf Tiny DS-CNN scale
+    assert kws.weights_bytes() < 60_000              # fits Fomu flash budget
+
+
+def test_resnet8_topology():
+    model = build_resnet8_ic()
+    assert model.input.shape == (1, 32, 32, 3)
+    assert model.output.shape == (1, 10)
+    assert sum(1 for op in model.operators if op.opcode == "ADD") == 3
+
+
+def test_autoencoder_topology():
+    model = build_autoencoder_ad()
+    assert model.input.shape == (1, 640)
+    assert model.output.shape == (1, 640)
+    assert all(op.opcode == "FULLY_CONNECTED" for op in model.operators)
+    assert len(model.operators) == 10
+
+
+def test_vww_topology():
+    model = build_mobilenet_v1_vww()
+    assert model.output.shape == (1, 2)
+    assert sum(1 for op in model.operators
+               if op.opcode == "DEPTHWISE_CONV_2D") == 13
+
+
+def test_full_inference_runs(kws):
+    out = Interpreter(kws).invoke(golden_input(kws))
+    assert out.shape == (1, 12)
+    assert out.dtype == np.int8
+
+
+def test_golden_checksums_stable():
+    """The 'set inputs and expected outputs' of Section II-E: pinned
+    fingerprints catch any unintended numerics change."""
+    kws = build_dscnn_kws()
+    first = golden_checksum(kws)
+    second = golden_checksum(build_dscnn_kws())
+    assert first == second
+
+
+def test_width_multiplier_scales_macs():
+    small = build_mobilenet_v2(width_multiplier=0.35, num_classes=10, seed=1)
+    big = build_mobilenet_v2(width_multiplier=1.0, num_classes=10, seed=1)
+    assert big.total_macs() > 3 * small.total_macs()
+
+
+def test_model_summary_renders(kws):
+    text = kws.summary()
+    assert "dscnn_kws" in text
+    assert "CONV_2D" in text

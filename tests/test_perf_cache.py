@@ -1,0 +1,103 @@
+"""Cache model and miss-rate estimate tests."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.perf.cache import Cache, expected_miss_rate
+
+
+def test_direct_mapped_basics():
+    cache = Cache(size_bytes=256, ways=1, line_bytes=32)
+    assert cache.num_sets == 8
+    assert not cache.access(0)       # cold miss
+    assert cache.access(0)           # hit
+    assert cache.access(31)          # same line
+    assert not cache.access(32)      # next line
+
+
+def test_conflict_eviction():
+    cache = Cache(size_bytes=256, ways=1, line_bytes=32)
+    cache.access(0)
+    cache.access(256)  # same set, evicts
+    assert not cache.access(0)
+
+
+def test_two_way_keeps_both():
+    cache = Cache(size_bytes=256, ways=2, line_bytes=32)
+    cache.access(0)
+    cache.access(256)
+    assert cache.access(0)
+    assert cache.access(256)
+
+
+def test_lru_replacement_order():
+    cache = Cache(size_bytes=256, ways=2, line_bytes=32)
+    cache.access(0)      # A
+    cache.access(256)    # B
+    cache.access(0)      # touch A -> B is LRU
+    cache.access(512)    # C evicts B
+    assert cache.access(0)
+    assert not cache.access(256)
+
+
+def test_flush_and_stats():
+    cache = Cache(size_bytes=128, ways=1, line_bytes=32)
+    cache.access(0)
+    cache.access(0)
+    assert (cache.hits, cache.misses) == (1, 1)
+    assert cache.miss_rate == 0.5
+    cache.flush()
+    assert not cache.access(0)
+    cache.reset_stats()
+    assert cache.accesses == 0
+
+
+def test_invalid_geometry_rejected():
+    import pytest
+
+    with pytest.raises(ValueError):
+        Cache(size_bytes=100, ways=3, line_bytes=32)
+    with pytest.raises(ValueError):
+        Cache(size_bytes=0)
+
+
+@given(size=st.sampled_from([1024, 4096, 16384]),
+       footprint=st.integers(1, 1 << 20))
+def test_expected_miss_rate_bounds(size, footprint):
+    rate = expected_miss_rate(footprint, size, line_bytes=32,
+                              accesses_per_byte=1.0)
+    assert 0.0 <= rate <= 1.0 / 32
+
+
+def test_expected_miss_rate_monotone_in_footprint():
+    rates = [expected_miss_rate(fp, 4096) for fp in
+             (1024, 3072, 4096, 6144, 8192, 16384)]
+    assert all(a <= b for a, b in zip(rates, rates[1:]))
+
+
+def test_expected_miss_rate_fits_means_zero():
+    assert expected_miss_rate(1024, 4096) == 0.0
+
+
+def test_expected_miss_rate_thrash_is_per_line():
+    rate = expected_miss_rate(1 << 20, 1024, line_bytes=32,
+                              accesses_per_byte=1.0)
+    assert rate == 1.0 / 32
+
+
+def test_no_cache_always_misses():
+    assert expected_miss_rate(100, 0) == 1.0
+
+
+def test_streaming_matches_trace_simulation():
+    """The closed form and the trace model agree on a thrashing loop."""
+    cache = Cache(size_bytes=1024, ways=1, line_bytes=32)
+    footprint = 8192
+    for _ in range(4):  # repeated passes over a too-large footprint
+        for addr in range(0, footprint):
+            cache.access(addr)
+    analytic = expected_miss_rate(footprint, 1024, 32, accesses_per_byte=1.0)
+    # Ignore the cold first pass.
+    steady_misses = cache.misses - footprint // 32
+    steady_accesses = cache.accesses - footprint
+    assert abs(steady_misses / steady_accesses - analytic) < 0.005

@@ -1,0 +1,171 @@
+"""Cost-context tests: placements, fetch model, memory-ladder effects."""
+
+import pytest
+
+from repro.cpu.timing import ITERATIVE_MUL_CYCLES
+from repro.cpu.vexriscv import VexRiscvConfig
+from repro.perf.cost import CostContext, SystemConfig
+from repro.perf.memories import (
+    MemoryMap,
+    MemoryRegion,
+    ON_CHIP_SRAM,
+    QSPI_FLASH,
+    SPI_FLASH,
+)
+
+
+def make_system(cpu=None, flash_tech=SPI_FLASH, placement=None):
+    memory_map = MemoryMap([
+        MemoryRegion("sram", 0x1000_0000, 128 * 1024, ON_CHIP_SRAM),
+        MemoryRegion("flash", 0x2000_0000, 2 << 20, flash_tech),
+    ])
+    base = {"text": "flash", "kernel_text": "flash",
+            "model_weights": "flash", "arena": "sram"}
+    base.update(placement or {})
+    return SystemConfig(cpu=cpu or VexRiscvConfig(icache_bytes=0,
+                                                  dcache_bytes=0),
+                        memory_map=memory_map, placement=base,
+                        clock_hz=12_000_000)
+
+
+def test_alu_costs_one_cycle_with_bypassing():
+    system = make_system(VexRiscvConfig())
+    ctx = CostContext(system)
+    ctx.alu(100)
+    assert ctx.breakdown.compute == 100
+
+
+def test_no_bypass_interlock_penalty():
+    system = make_system(VexRiscvConfig(bypassing=False, icache_bytes=0,
+                                        dcache_bytes=0))
+    ctx = CostContext(system)
+    ctx.alu(100)
+    assert ctx.breakdown.compute > 150
+
+
+def test_iterative_vs_single_cycle_mul():
+    slow = CostContext(make_system(VexRiscvConfig(
+        multiplier="iterative", icache_bytes=0, dcache_bytes=0)))
+    slow.mul(10)
+    fast = CostContext(make_system(VexRiscvConfig(
+        multiplier="single_cycle", icache_bytes=0, dcache_bytes=0)))
+    fast.mul(10)
+    assert slow.breakdown.compute - fast.breakdown.compute == pytest.approx(
+        10 * (ITERATIVE_MUL_CYCLES - 1))
+
+
+def test_mul_without_multiplier_uses_soft_emulation():
+    system = make_system(VexRiscvConfig(multiplier="none", icache_bytes=0,
+                                        dcache_bytes=0))
+    ctx = CostContext(system)
+    ctx.mul(1)
+    assert ctx.cycles > 40
+
+
+def test_uncached_flash_load_is_expensive():
+    system = make_system()
+    flash = CostContext(system)
+    flash.load(10, section="model_weights")
+    sram = CostContext(system)
+    sram.load(10, section="arena")
+    per_load_extra = (flash.breakdown.memory - sram.breakdown.memory) / 10
+    assert per_load_extra == SPI_FLASH.first_word_latency - 1
+
+
+def test_quadspi_reduces_flash_cost():
+    spi = CostContext(make_system(flash_tech=SPI_FLASH))
+    spi.load(100, section="model_weights")
+    qspi = CostContext(make_system(flash_tech=QSPI_FLASH))
+    qspi.load(100, section="model_weights")
+    assert spi.breakdown.memory > 2.5 * qspi.breakdown.memory
+
+
+def test_section_move_to_sram():
+    """The 'SRAM Ops and Model' step: weights in SRAM cost SRAM prices."""
+    in_flash = CostContext(make_system())
+    in_flash.load(100, section="model_weights")
+    in_sram = CostContext(make_system(
+        placement={"model_weights": "sram"}))
+    in_sram.load(100, section="model_weights")
+    assert in_sram.breakdown.memory < in_flash.breakdown.memory / 5
+
+
+def test_fetch_overhead_flash_vs_sram():
+    system = make_system()
+    flash_code = CostContext(system, code_section="kernel_text")
+    flash_code.alu(1000)
+    flash_cycles = flash_code.finish(loop_footprint_bytes=512)
+
+    sram_sys = make_system(placement={"kernel_text": "sram"})
+    sram_code = CostContext(sram_sys, code_section="kernel_text")
+    sram_code.alu(1000)
+    sram_cycles = sram_code.finish(loop_footprint_bytes=512)
+    assert flash_cycles > 10 * sram_cycles
+
+
+def test_icache_absorbs_small_loops():
+    cpu = VexRiscvConfig(icache_bytes=4096, dcache_bytes=0)
+    system = make_system(cpu)
+    ctx = CostContext(system, code_section="kernel_text")
+    ctx.alu(1000)
+    cached = ctx.finish(loop_footprint_bytes=512)
+
+    big_loop = CostContext(system, code_section="kernel_text")
+    big_loop.alu(1000)
+    uncached = big_loop.finish(loop_footprint_bytes=64 * 1024)
+    assert cached < uncached
+
+
+def test_branch_costs_by_predictor():
+    costs = {}
+    for bp in ("none", "static", "dynamic", "dynamic_target"):
+        cpu = VexRiscvConfig(branch_prediction=bp, icache_bytes=0,
+                             dcache_bytes=0, bypassing=True)
+        ctx = CostContext(make_system(cpu))
+        ctx.branch(100, taken=0.95)
+        costs[bp] = ctx.breakdown.control
+    assert costs["none"] > costs["static"]
+    assert costs["static"] >= costs["dynamic"]
+    assert costs["dynamic"] > costs["dynamic_target"]
+
+
+def test_cfu_pipelined_ii():
+    system = make_system(VexRiscvConfig())
+    pipelined = CostContext(system)
+    pipelined.cfu(100, latency=3, ii=1)
+    blocking = CostContext(system)
+    blocking.cfu(100, latency=3)
+    assert pipelined.breakdown.cfu < blocking.breakdown.cfu
+    assert pipelined.breakdown.cfu == pytest.approx(100 + 2)
+
+
+def test_dcache_streaming_footprint_effect():
+    cpu = VexRiscvConfig(dcache_bytes=4096)
+    system = make_system(cpu)
+    fits = CostContext(system)
+    fits.load(1000, section="arena", pattern="seq", footprint=1024)
+    thrashes = CostContext(system)
+    thrashes.load(1000, section="arena", pattern="seq", footprint=64 * 1024)
+    assert fits.breakdown.memory < thrashes.breakdown.memory
+
+
+def test_system_config_helpers():
+    system = make_system()
+    moved = system.with_placement(model_weights="sram")
+    assert system.placement["model_weights"] == "flash"
+    assert moved.placement["model_weights"] == "sram"
+    assert system.seconds(12_000_000) == pytest.approx(1.0)
+
+
+def test_breakdown_totals():
+    system = make_system(VexRiscvConfig())
+    ctx = CostContext(system)
+    ctx.alu(10)
+    ctx.load(5, section="arena")
+    ctx.branch(2)
+    ctx.cfu(1)
+    total = ctx.breakdown.total
+    parts = (ctx.breakdown.compute + ctx.breakdown.memory
+             + ctx.breakdown.control + ctx.breakdown.cfu
+             + ctx.breakdown.fetch)
+    assert total == pytest.approx(parts)

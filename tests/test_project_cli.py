@@ -1,0 +1,116 @@
+"""Project registry + CLI tests."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.core.project import PROJECTS, list_projects, load_project
+from repro.tflm.serialize import load_model_file
+
+
+def test_registry_contents():
+    assert {"proj_template", "mnv2_first", "kws_micro_accel"} <= set(PROJECTS)
+    descriptions = list_projects()
+    assert "Section III-A" in descriptions["mnv2_first"]
+    assert "Section III-B" in descriptions["kws_micro_accel"]
+
+
+def test_unknown_project():
+    with pytest.raises(KeyError):
+        load_project("bitcoin_miner")
+
+
+def test_template_project_builds():
+    project = load_project("proj_template")
+    artifacts = project.build()
+    assert artifacts.ok
+    assert artifacts.estimate.total_cycles > 0
+
+
+def test_kws_project_build_artifacts(tmp_path):
+    project = load_project("kws_micro_accel")
+    artifacts = project.build(output_dir=str(tmp_path))
+    assert artifacts.ok
+    assert os.path.exists(artifacts.verilog_path)
+    with open(artifacts.verilog_path) as handle:
+        assert "endmodule" in handle.read()
+    restored = load_model_file(artifacts.model_path)
+    assert restored.name == "dscnn_kws"
+    with open(artifacts.report_path) as handle:
+        assert "fit on fomu" in handle.read()
+
+
+def test_kws_project_fits_and_is_fast():
+    project = load_project("kws_micro_accel")
+    artifacts = project.build()
+    assert artifacts.ok
+    seconds = artifacts.estimate.seconds
+    assert seconds < 5  # the optimized endpoint, not the 209 s baseline
+
+
+def test_mnv2_project_golden():
+    load_project("mnv2_first").golden_test()
+
+
+def test_projects_are_fresh_instances():
+    a = load_project("proj_template")
+    b = load_project("proj_template")
+    assert a.playground is not b.playground
+
+
+# --- CLI ------------------------------------------------------------------------------
+
+def test_cli_projects(capsys):
+    assert main(["projects"]) == 0
+    out = capsys.readouterr().out
+    assert "mnv2_first" in out
+
+
+def test_cli_profile(capsys):
+    assert main(["profile", "proj_template"]) == 0
+    out = capsys.readouterr().out
+    assert "CONV_2D" in out
+
+
+def test_cli_golden(capsys):
+    assert main(["golden", "kws_micro_accel"]) == 0
+    assert "PASSED" in capsys.readouterr().out
+
+
+def test_cli_ladder_fig6(capsys):
+    assert main(["ladder", "fig6"]) == 0
+    out = capsys.readouterr().out
+    assert "quadspi" in out and "sw-spec" in out
+
+
+def test_cli_build_with_artifacts(tmp_path, capsys):
+    assert main(["build", "kws_micro_accel", "--out", str(tmp_path)]) == 0
+    assert (tmp_path / "cfu.v").exists()
+
+
+def test_cli_dse(capsys):
+    assert main(["dse", "--trials", "6", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "93,312" in out
+    assert "Pareto-optimal" in out
+
+
+def test_cli_menu(capsys):
+    assert main(["menu", "proj_template", "--select", "1", "g"]) == 0
+    out = capsys.readouterr().out
+    assert "golden test OK" in out
+
+
+def test_cli_requires_command():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_cli_report(tmp_path, capsys):
+    out = tmp_path / "REPORT.md"
+    assert main(["report", "--out", str(out)]) == 0
+    text = out.read_text()
+    assert "Figure 4" in text and "Figure 6" in text
+    assert "CMSIS-NN" in text and "Energy per inference" in text
+    assert "| sw-spec |" in text

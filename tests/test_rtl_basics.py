@@ -1,0 +1,282 @@
+"""Unit tests for the RTL DSL: expressions, simulation semantics."""
+
+import pytest
+
+from repro.rtl import (
+    Cat,
+    CombLoopError,
+    Const,
+    Memory,
+    Module,
+    Mux,
+    Repl,
+    Signal,
+    Simulator,
+    signed,
+    make_signal,
+    to_signed,
+)
+
+
+def test_const_width_inference():
+    assert Const(0).width == 1
+    assert Const(1).width == 1
+    assert Const(255).width == 8
+    assert Const(-1).width == 2
+    assert Const(5, 8).width == 8
+
+
+def test_signal_range_shape():
+    sig = Signal(range(16))
+    assert sig.width == 4
+    sig = Signal(range(-8, 8))
+    assert sig.signed and sig.width >= 4
+
+
+def test_signed_shape_helper():
+    sig = make_signal(signed(16))
+    assert sig.signed and sig.width == 16
+
+
+def test_comb_adder():
+    a, b = Signal(8, name="a"), Signal(8, name="b")
+    out = Signal(9, name="out")
+    m = Module("adder")
+    m.d.comb += out.eq(a + b)
+    sim = Simulator(m)
+    sim.poke(a, 200)
+    sim.poke(b, 100)
+    sim.settle()
+    assert sim.peek(out) == 300
+
+
+def test_signed_arithmetic():
+    a = Signal(8, name="a", signed=True)
+    b = Signal(8, name="b", signed=True)
+    prod = Signal(16, name="prod", signed=True)
+    m = Module()
+    m.d.comb += prod.eq(a * b)
+    sim = Simulator(m)
+    sim.poke(a, 0xFF)  # -1
+    sim.poke(b, 0x02)  # +2
+    sim.settle()
+    assert sim.peek_signed(prod) == -2
+
+
+def test_arithmetic_shift_right():
+    a = Signal(8, name="a", signed=True)
+    out = Signal(8, name="out", signed=True)
+    m = Module()
+    m.d.comb += out.eq(a >> 2)
+    sim = Simulator(m)
+    sim.poke(a, 0x80)  # -128
+    sim.settle()
+    assert sim.peek_signed(out) == -32
+
+
+def test_sync_counter():
+    count = Signal(8, name="count")
+    m = Module("counter")
+    m.d.sync += count.eq(count + 1)
+    sim = Simulator(m)
+    assert sim.peek(count) == 0
+    sim.tick(5)
+    assert sim.peek(count) == 5
+
+
+def test_if_else_priority():
+    sel = Signal(2, name="sel")
+    out = Signal(8, name="out")
+    m = Module()
+    with m.If(sel == 0):
+        m.d.comb += out.eq(10)
+    with m.Elif(sel == 1):
+        m.d.comb += out.eq(20)
+    with m.Else():
+        m.d.comb += out.eq(30)
+    sim = Simulator(m)
+    for sel_val, expect in [(0, 10), (1, 20), (2, 30), (3, 30)]:
+        sim.poke(sel, sel_val)
+        sim.settle()
+        assert sim.peek(out) == expect
+
+
+def test_comb_default_is_reset():
+    en = Signal(1, name="en")
+    out = Signal(8, name="out", reset=7)
+    m = Module()
+    with m.If(en):
+        m.d.comb += out.eq(42)
+    sim = Simulator(m)
+    sim.settle()
+    assert sim.peek(out) == 7
+    sim.poke(en, 1)
+    sim.settle()
+    assert sim.peek(out) == 42
+
+
+def test_nested_if():
+    a, b = Signal(1, name="a"), Signal(1, name="b")
+    out = Signal(4, name="out")
+    m = Module()
+    with m.If(a):
+        with m.If(b):
+            m.d.comb += out.eq(3)
+        with m.Else():
+            m.d.comb += out.eq(2)
+    with m.Else():
+        m.d.comb += out.eq(1)
+    sim = Simulator(m)
+    for av, bv, expect in [(0, 0, 1), (0, 1, 1), (1, 0, 2), (1, 1, 3)]:
+        sim.poke(a, av)
+        sim.poke(b, bv)
+        sim.settle()
+        assert sim.peek(out) == expect
+
+
+def test_switch_case_with_default():
+    sel = Signal(3, name="sel")
+    out = Signal(8, name="out")
+    m = Module()
+    with m.Switch(sel):
+        with m.Case(0):
+            m.d.comb += out.eq(100)
+        with m.Case(1, 2):
+            m.d.comb += out.eq(50)
+        with m.Case():
+            m.d.comb += out.eq(5)
+    sim = Simulator(m)
+    for sel_val, expect in [(0, 100), (1, 50), (2, 50), (3, 5), (7, 5)]:
+        sim.poke(sel, sel_val)
+        sim.settle()
+        assert sim.peek(out) == expect
+
+
+def test_last_assignment_wins():
+    out = Signal(8, name="out")
+    m = Module()
+    m.d.comb += out.eq(1)
+    m.d.comb += out.eq(2)
+    sim = Simulator(m)
+    sim.settle()
+    assert sim.peek(out) == 2
+
+
+def test_slice_assignment():
+    out = Signal(8, name="out")
+    m = Module()
+    m.d.comb += out.eq(0xF0)
+    m.d.comb += out[0:4].eq(0xA)
+    sim = Simulator(m)
+    sim.settle()
+    assert sim.peek(out) == 0xFA
+
+
+def test_cat_and_repl():
+    a = Signal(4, name="a")
+    out = Signal(12, name="out")
+    m = Module()
+    m.d.comb += out.eq(Cat(a, Repl(a[3], 8)))
+    sim = Simulator(m)
+    sim.poke(a, 0x9)  # top bit set
+    sim.settle()
+    assert sim.peek(out) == 0xFF9
+
+
+def test_mux():
+    sel = Signal(1, name="sel")
+    out = Signal(8, name="out")
+    m = Module()
+    m.d.comb += out.eq(Mux(sel, 11, 22))
+    sim = Simulator(m)
+    sim.settle()
+    assert sim.peek(out) == 22
+    sim.poke(sel, 1)
+    sim.settle()
+    assert sim.peek(out) == 11
+
+
+def test_memory_sync_write_comb_read():
+    mem = Memory(width=8, depth=16, name="buf")
+    rp = mem.read_port()
+    wp = mem.write_port()
+    m = Module()
+    m.add_memory(mem)
+    sim = Simulator(m)
+    sim.poke(wp.addr, 3)
+    sim.poke(wp.data, 99)
+    sim.poke(wp.en, 1)
+    sim.tick()
+    sim.poke(wp.en, 0)
+    sim.poke(rp.addr, 3)
+    sim.settle()
+    assert sim.peek(rp.data) == 99
+
+
+def test_memory_init():
+    mem = Memory(width=8, depth=4, init=[1, 2, 3])
+    rp = mem.read_port()
+    m = Module()
+    m.add_memory(mem)
+    sim = Simulator(m)
+    sim.poke(rp.addr, 1)
+    sim.settle()
+    assert sim.peek(rp.data) == 2
+
+
+def test_comb_chain_settles():
+    a = Signal(8, name="a")
+    b = Signal(8, name="b")
+    c = Signal(8, name="c")
+    d = Signal(8, name="d")
+    m = Module()
+    m.d.comb += b.eq(a + 1)
+    m.d.comb += c.eq(b + 1)
+    m.d.comb += d.eq(c + 1)
+    sim = Simulator(m)
+    sim.poke(a, 10)
+    sim.settle()
+    assert sim.peek(d) == 13
+
+
+def test_comb_loop_detected():
+    a = Signal(8, name="a")
+    m = Module()
+    m.d.comb += a.eq(a + 1)
+    with pytest.raises(CombLoopError):
+        Simulator(m)
+
+
+def test_double_driven_signal_rejected():
+    a = Signal(8, name="a")
+    m = Module()
+    m.d.comb += a.eq(1)
+    m.d.sync += a.eq(2)
+    with pytest.raises(ValueError):
+        Simulator(m)
+
+
+def test_poke_driven_signal_rejected():
+    a = Signal(8, name="a")
+    m = Module()
+    m.d.comb += a.eq(1)
+    sim = Simulator(m)
+    with pytest.raises(ValueError):
+        sim.poke(a, 5)
+
+
+def test_run_until():
+    count = Signal(4, name="count")
+    done = Signal(1, name="done")
+    m = Module()
+    m.d.sync += count.eq(count + 1)
+    m.d.comb += done.eq(count == 7)
+    sim = Simulator(m)
+    elapsed = sim.run_until(done)
+    assert elapsed == 7
+
+
+def test_to_signed_helper():
+    assert to_signed(0xFF, 8) == -1
+    assert to_signed(0x7F, 8) == 127
+    assert to_signed(0x80, 8) == -128

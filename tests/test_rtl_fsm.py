@@ -1,0 +1,102 @@
+"""FSM syntax tests."""
+
+import pytest
+
+from repro.rtl import Module, Signal, Simulator, estimate
+
+
+def handshake_fsm():
+    m = Module("handshake")
+    start = Signal(1, name="start")
+    done = Signal(1, name="done")
+    busy = Signal(1, name="busy")
+    count = Signal(4, name="count")
+    with m.FSM(name="ctrl") as fsm:
+        with m.State("IDLE"):
+            with m.If(start):
+                m.next = "RUN"
+                m.d.sync += count.eq(0)
+        with m.State("RUN"):
+            m.d.sync += count.eq(count + 1)
+            with m.If(count == 3):
+                m.next = "DONE"
+        with m.State("DONE"):
+            m.next = "IDLE"
+    m.d.comb += busy.eq(fsm.ongoing("RUN"))
+    m.d.comb += done.eq(fsm.ongoing("DONE"))
+    return m, start, done, busy, count
+
+
+def test_fsm_walks_states():
+    m, start, done, busy, count = handshake_fsm()
+    sim = Simulator(m)
+    assert sim.peek(busy) == 0
+    sim.poke(start, 1)
+    sim.tick()
+    sim.poke(start, 0)
+    assert sim.peek(busy) == 1
+    elapsed = sim.run_until(done, timeout=20)
+    assert elapsed >= 3
+    sim.tick()
+    assert sim.peek(busy) == 0 and sim.peek(done) == 0  # back to IDLE
+
+
+def test_fsm_restarts():
+    m, start, done, busy, count = handshake_fsm()
+    sim = Simulator(m)
+    for _ in range(2):
+        sim.poke(start, 1)
+        sim.tick()
+        sim.poke(start, 0)
+        sim.run_until(done, timeout=20)
+        sim.tick()
+    assert sim.peek(busy) == 0
+
+
+def test_fsm_state_outside_raises():
+    m = Module()
+    with pytest.raises(SyntaxError):
+        with m.State("X"):
+            pass
+
+
+def test_fsm_next_outside_raises():
+    m = Module()
+    with pytest.raises(SyntaxError):
+        m.next = "X"
+
+
+def test_fsm_too_many_states_rejected():
+    m = Module()
+    with pytest.raises(ValueError):
+        with m.FSM(state_bits=1) as fsm:
+            for name in ("A", "B", "C"):
+                fsm.encode(name)
+
+
+def test_fsm_state_register_costed():
+    m, *_ = handshake_fsm()
+    report = estimate(m)
+    assert report.ffs >= 4  # state register + count
+
+
+def test_nested_condition_inside_state():
+    m = Module()
+    mode = Signal(2, name="mode")
+    out = Signal(8, name="out")
+    go = Signal(1, name="go")
+    with m.FSM() as fsm:
+        with m.State("A"):
+            with m.If(go):
+                with m.If(mode == 2):
+                    m.d.comb += out.eq(22)
+                with m.Else():
+                    m.d.comb += out.eq(11)
+    sim = Simulator(m)
+    sim.poke(go, 1)
+    sim.poke(mode, 2)
+    sim.settle()
+    assert sim.peek(out) == 22
+    sim.poke(mode, 1)
+    sim.settle()
+    assert sim.peek(out) == 11

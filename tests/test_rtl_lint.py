@@ -1,0 +1,112 @@
+"""Netlist lint tests."""
+
+from repro.accel import KwsCfu2Rtl
+from repro.rtl import Module, Signal, lint
+
+
+def test_clean_module():
+    a, b = Signal(8, name="a"), Signal(8, name="b")
+    out = Signal(9, name="out")
+    m = Module()
+    m.d.comb += out.eq(a + b)
+    report = lint(m, inputs=[a, b, out])
+    assert report.clean, str(report)
+
+
+def test_undriven_signal_detected():
+    mystery = Signal(8, name="mystery")
+    out = Signal(8, name="out")
+    m = Module()
+    m.d.comb += out.eq(mystery + 1)
+    report = lint(m, inputs=[out])
+    assert [w.signal for w in report.of_kind("undriven")] == ["mystery"]
+
+
+def test_declared_inputs_are_allowed():
+    sig = Signal(8, name="in0")
+    out = Signal(8, name="out")
+    m = Module()
+    m.d.comb += out.eq(sig)
+    assert lint(m, inputs=[sig, out]).clean
+
+
+def test_unused_signal_detected():
+    dead = Signal(8, name="dead")
+    m = Module()
+    m.d.comb += dead.eq(42)
+    report = lint(m)
+    assert [w.signal for w in report.of_kind("unused")] == ["dead"]
+
+
+def test_width_truncation_detected():
+    a = Signal(16, name="a")
+    narrow = Signal(4, name="narrow")
+    m = Module()
+    m.d.comb += narrow.eq(a + 1)
+    report = lint(m, inputs=[a, narrow])
+    warnings = report.of_kind("width-truncation")
+    assert warnings and warnings[0].signal == "narrow"
+
+
+def test_multiple_unconditional_drivers_detected():
+    out = Signal(8, name="out")
+    a = Signal(8, name="a")
+    m = Module()
+    m.d.comb += out.eq(1)
+    m.d.comb += out.eq(a)
+    report = lint(m, inputs=[a, out])
+    assert report.of_kind("multiple-drivers")
+
+
+def test_guarded_drivers_not_flagged():
+    sel = Signal(1, name="sel")
+    out = Signal(8, name="out")
+    m = Module()
+    with m.If(sel):
+        m.d.comb += out.eq(1)
+    with m.Else():
+        m.d.comb += out.eq(2)
+    report = lint(m, inputs=[sel, out])
+    assert not report.of_kind("multiple-drivers")
+
+
+def test_multi_domain_driver_detected():
+    out = Signal(8, name="out")
+    m = Module()
+    m.d.comb += out.eq(1)
+    m.d.sync += out.eq(2)
+    report = lint(m, inputs=[out])
+    assert report.of_kind("multi-domain")
+
+
+def test_memory_ports_understood():
+    from repro.rtl import Memory
+
+    mem = Memory(8, 16, name="buf")
+    rp = mem.read_port()
+    wp = mem.write_port()
+    out = Signal(8, name="out")
+    m = Module()
+    m.add_memory(mem)
+    m.d.comb += out.eq(rp.data)
+    report = lint(m, inputs=[rp.addr, wp.addr, wp.data, wp.en, out])
+    assert report.clean, str(report)
+
+
+def test_shipped_cfu_gateware_lints_clean():
+    """The CFU library itself must pass its own lint (ports are inputs)."""
+    cfu = KwsCfu2Rtl()
+    report = lint(cfu.module, inputs=cfu.ports.all())
+    real_problems = (report.of_kind("undriven")
+                     + report.of_kind("multi-domain")
+                     + report.of_kind("multiple-drivers"))
+    assert not real_problems, str(report)
+
+
+def test_report_renders():
+    dead = Signal(8, name="dead")
+    m = Module()
+    m.d.comb += dead.eq(1)
+    text = str(lint(m))
+    assert "[unused] dead" in text
+    assert str(lint(Module())) == "lint: clean"

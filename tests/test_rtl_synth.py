@@ -1,0 +1,133 @@
+"""Resource estimator (yosys stand-in) tests."""
+
+from repro.rtl import Cat, Memory, Module, Mux, Signal, estimate
+
+
+def _single(expr, out_width=32):
+    m = Module()
+    out = Signal(out_width, name="out")
+    m.d.comb += out.eq(expr)
+    return estimate(m)
+
+
+def test_adder_costs_carry_chain():
+    a, b = Signal(16, name="a"), Signal(16, name="b")
+    report = _single(a + b, 17)
+    assert report.luts == 16
+    assert report.ffs == 0
+
+
+def test_wide_multiplier_uses_dsps():
+    a, b = Signal(16, name="a"), Signal(16, name="b")
+    report = _single(a * b)
+    assert report.dsps == 1
+    a32, b32 = Signal(32, name="a32"), Signal(32, name="b32")
+    report32 = _single(a32 * b32, 64)
+    assert report32.dsps == 4  # 2x2 tiling of 18x18 tiles
+
+
+def test_small_multiplier_stays_in_fabric():
+    a, b = Signal(3, name="a"), Signal(4, name="b")
+    report = _single(a * b, 7)
+    assert report.dsps == 0
+    assert report.luts > 0
+
+
+def test_sync_signals_become_flip_flops():
+    m = Module()
+    count = Signal(8, name="count")
+    m.d.sync += count.eq(count + 1)
+    report = estimate(m)
+    assert report.ffs == 8
+
+
+def test_shared_subexpression_counted_once():
+    a, b = Signal(16, name="a"), Signal(16, name="b")
+    shared = a + b
+    m = Module()
+    x, y = Signal(17, name="x"), Signal(17, name="y")
+    m.d.comb += x.eq(shared)
+    m.d.comb += y.eq(shared)
+    shared_cost = estimate(m).luts
+
+    m2 = Module()
+    x2, y2 = Signal(17, name="x2"), Signal(17, name="y2")
+    m2.d.comb += x2.eq(a + b)
+    m2.d.comb += y2.eq(a + b)
+    duplicated_cost = estimate(m2).luts
+    assert shared_cost < duplicated_cost
+
+
+def test_small_memory_maps_to_lut_ram():
+    mem = Memory(width=8, depth=16)  # 128 bits
+    m = Module()
+    m.add_memory(mem)
+    report = estimate(m)
+    assert report.bram_bits == 0
+    assert report.luts > 0
+
+
+def test_large_memory_maps_to_bram():
+    mem = Memory(width=32, depth=1024)
+    m = Module()
+    m.add_memory(mem)
+    report = estimate(m)
+    assert report.bram_bits == 32 * 1024
+
+
+def test_guarded_assign_adds_mux():
+    en = Signal(1, name="en")
+    out = Signal(8, name="out")
+    m = Module()
+    with m.If(en):
+        m.d.comb += out.eq(42)
+    report = estimate(m)
+    assert report.luts >= 4  # 8-bit 2:1 mux
+
+
+def test_constant_shift_is_free_variable_shift_is_not():
+    a = Signal(16, name="a")
+    const_shift = _single(a << 2, 18)
+    amount = Signal(4, name="amount")
+    var_shift = _single(a << amount, 31)
+    assert const_shift.luts == 0
+    assert var_shift.luts > 0
+
+
+def test_mux_cost():
+    sel = Signal(1, name="sel")
+    a, b = Signal(8, name="a"), Signal(8, name="b")
+    report = _single(Mux(sel, a, b), 8)
+    assert report.luts == 4
+
+
+def test_report_addition_and_scaling():
+    a, b = Signal(8, name="a"), Signal(8, name="b")
+    r1 = _single(a + b, 9)
+    total = r1 + r1
+    assert total.luts == 2 * r1.luts
+    assert r1.scaled(2.0).luts == 2 * r1.luts
+
+
+def test_logic_cells_pairing_heuristic():
+    m = Module()
+    count = Signal(8, name="count")
+    m.d.sync += count.eq(count + 1)
+    report = estimate(m)
+    # 8 LUTs (adder) + mux-free sync: cells ~ max + pairing credit
+    assert report.logic_cells >= max(report.luts, report.ffs)
+
+
+def test_bram_blocks_rounding():
+    mem = Memory(width=32, depth=1024)
+    m = Module()
+    m.add_memory(mem)
+    report = estimate(m)
+    assert report.bram_blocks(4096) == 8      # iCE40 EBR
+    assert report.bram_blocks(36 * 1024) == 1  # Xilinx 36k BRAM
+
+
+def test_cat_is_free_wiring():
+    a, b = Signal(8, name="a"), Signal(8, name="b")
+    report = _single(Cat(a, b), 16)
+    assert report.luts == 0

@@ -1,0 +1,84 @@
+"""VexRiscv configuration-space area-model tests."""
+
+import pytest
+
+from repro.cpu.vexriscv import (
+    ARTY_DEFAULT,
+    FOMU_MINIMAL,
+    VexRiscvConfig,
+    cpu_resources,
+)
+
+
+def test_feature_costs_are_monotone():
+    base = VexRiscvConfig(bypassing=False, branch_prediction="none",
+                          multiplier="none", divider="none",
+                          shifter="iterative", icache_bytes=0, dcache_bytes=0,
+                          hw_error_checking=False)
+    for upgrade in (
+        {"bypassing": True},
+        {"branch_prediction": "static"},
+        {"branch_prediction": "dynamic"},
+        {"branch_prediction": "dynamic_target"},
+        {"multiplier": "iterative"},
+        {"divider": "iterative"},
+        {"shifter": "barrel"},
+        {"hw_error_checking": True},
+        {"icache_bytes": 4096},
+        {"dcache_bytes": 4096},
+    ):
+        bigger = cpu_resources(base.evolve(**upgrade))
+        assert bigger.logic_cells + bigger.bram_bits > (
+            cpu_resources(base).logic_cells + cpu_resources(base).bram_bits
+        ), upgrade
+
+
+def test_predictor_cost_ordering():
+    def cells(bp):
+        return cpu_resources(VexRiscvConfig(branch_prediction=bp)).luts
+
+    assert (cells("none") < cells("static") < cells("dynamic")
+            < cells("dynamic_target"))
+
+
+def test_single_cycle_multiplier_trades_cells_for_dsps():
+    iterative = cpu_resources(VexRiscvConfig(multiplier="iterative"))
+    single = cpu_resources(VexRiscvConfig(multiplier="single_cycle"))
+    assert single.dsps == 4
+    assert iterative.dsps == 0
+    assert single.luts < iterative.luts  # DSPs absorb the array
+
+
+def test_caches_are_mostly_bram():
+    small = cpu_resources(VexRiscvConfig(icache_bytes=0, dcache_bytes=0))
+    cached = cpu_resources(VexRiscvConfig(icache_bytes=16384,
+                                          dcache_bytes=16384))
+    assert cached.bram_bits - small.bram_bits > 2 * 16384 * 8
+    assert cached.luts - small.luts < 1000  # control logic only
+
+
+def test_named_configs_valid():
+    assert cpu_resources(ARTY_DEFAULT).dsps == 4
+    assert cpu_resources(FOMU_MINIMAL).dsps == 0
+
+
+def test_invalid_configs_rejected():
+    with pytest.raises(ValueError):
+        VexRiscvConfig(branch_prediction="oracle")
+    with pytest.raises(ValueError):
+        VexRiscvConfig(multiplier="quantum")
+    with pytest.raises(ValueError):
+        VexRiscvConfig(icache_bytes=3000)  # not a power of two
+
+
+def test_evolve_is_pure():
+    base = VexRiscvConfig()
+    changed = base.evolve(multiplier="iterative")
+    assert base.multiplier == "single_cycle"
+    assert changed.multiplier == "iterative"
+
+
+def test_fomu_minimal_fits_fomu_without_soc():
+    from repro.boards import FOMU, fit
+
+    assert fit(FOMU, cpu_resources(FOMU_MINIMAL)).ok
