@@ -3,22 +3,38 @@
 Regenerates the three Pareto fronts (CPU alone, CPU+CFU1, CPU+CFU2) over
 the ~93,000-point CPU-configuration x CFU space on the MNV2 workload,
 starring the overall Pareto-optimal points like the paper's figure.
+
+Runs on the parallel evaluation engine; ``REPRO_FIG7_TRIALS`` and
+``REPRO_FIG7_WORKERS`` override the per-family budget and worker count
+(the CI smoke job uses a tiny budget).  Membership in the overall front
+is checked by value (``DsePoint.key``), never ``id()`` — points may
+round-trip through worker processes or the persistent cache.
 """
+
+import os
 
 import pytest
 
+from repro.core.tracing import Tracer
 from repro.dse import CFU_FAMILIES, run_fig7, total_space_size
 from repro.dse.pareto import pareto_front
 
-TRIALS_PER_FAMILY = 90
+TRIALS_PER_FAMILY = int(os.environ.get("REPRO_FIG7_TRIALS", "90"))
+WORKERS = int(os.environ.get("REPRO_FIG7_WORKERS", "1"))
 
 
 @pytest.fixture(scope="module")
-def dse_result():
-    return run_fig7(trials_per_family=TRIALS_PER_FAMILY, seed=7)
+def dse_tracer():
+    return Tracer()
 
 
-def test_fig7_dse_pareto(benchmark, report, dse_result):
+@pytest.fixture(scope="module")
+def dse_result(dse_tracer):
+    return run_fig7(trials_per_family=TRIALS_PER_FAMILY, seed=7,
+                    workers=WORKERS, tracer=dse_tracer)
+
+
+def test_fig7_dse_pareto(benchmark, report, dse_result, dse_tracer):
     benchmark.pedantic(
         lambda: run_fig7(trials_per_family=25, seed=11),
         rounds=1, iterations=1,
@@ -27,7 +43,7 @@ def test_fig7_dse_pareto(benchmark, report, dse_result):
     report("Figure 7 — DSE of CPU vs CFU with the Vizier stand-in (MNV2)")
     report(f"design space: {total_space_size():,} points "
            "(paper: approximately 93,000)")
-    overall = {id(p) for p in result.overall_front()}
+    overall = {p.key() for p in result.overall_front()}
     for family in CFU_FAMILIES:
         evaluated = result.family_points(family)
         front = result.family_front(family)
@@ -37,7 +53,7 @@ def test_fig7_dse_pareto(benchmark, report, dse_result):
                f"{len(front)} Pareto-optimal")
         report(f"  {'cycles':>14s} {'cells':>7s}")
         for p in front:
-            star = "  *" if id(p) in overall else ""
+            star = "  *" if p.key() in overall else ""
             report(f"  {p.cycles:>14,.0f} {p.logic_cells:>7d}{star}")
 
     # Shape assertions: CFU families enrich the front.
@@ -45,7 +61,7 @@ def test_fig7_dse_pareto(benchmark, report, dse_result):
     assert fastest.family in ("cfu1", "cfu2")
     smallest = min(result.points, key=lambda p: p.logic_cells)
     assert smallest.family == "none"
-    assert any(id(p) in overall
+    assert any(p.key() in overall
                for p in result.family_points("cfu1") + result.family_points("cfu2"))
 
     # The CFU-equipped fronts dominate the CPU-alone front at low latency:
@@ -55,6 +71,9 @@ def test_fig7_dse_pareto(benchmark, report, dse_result):
            f"fastest CFU design: {best_cfu:,.0f} cycles "
            f"({best_cpu_only / best_cfu:.1f}x)")
     assert best_cfu < best_cpu_only / 2
+
+    report("\nevaluation engine:")
+    report(dse_tracer.summary())
 
 
 def test_fig7_richer_design_space(benchmark, report, dse_result):
@@ -83,3 +102,19 @@ def test_fig7_front_consistency(benchmark, dse_result):
             assert metrics == pareto_front(metrics)
 
     benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_fig7_engine_parallel_determinism(benchmark, report):
+    """The engine acceptance check, benchmark-sized: a parallel run and a
+    warm-cache rerun both reproduce the serial fronts exactly."""
+    def fronts(result):
+        return {f: [(p.key(), p.metrics) for p in result.family_front(f)]
+                for f in CFU_FAMILIES}
+
+    serial = run_fig7(trials_per_family=20, seed=7)
+    parallel = benchmark.pedantic(
+        lambda: run_fig7(trials_per_family=20, seed=7, workers=4),
+        rounds=1, iterations=1)
+    assert fronts(serial) == fronts(parallel)
+    report("Fig. 7 engine: workers=4 reproduces workers=1 fronts exactly "
+           f"({sum(len(f) for f in fronts(serial).values())} front points)")

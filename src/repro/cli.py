@@ -82,11 +82,20 @@ def _cmd_ladder(args):
 
 
 def _cmd_dse(args):
+    from .core.tracing import Tracer
     from .dse import run_fig7, total_space_size
 
     print(f"design space: {total_space_size():,} points")
-    result = run_fig7(trials_per_family=args.trials, seed=args.seed)
+    tracer = Tracer()
+    result = run_fig7(trials_per_family=args.trials, seed=args.seed,
+                      workers=args.workers, batch=args.batch,
+                      cache_dir=args.cache_dir, tracer=tracer)
     print(result.summary())
+    print()
+    print(tracer.summary())
+    if args.trace_out:
+        records = tracer.export_jsonl(args.trace_out)
+        print(f"trace written to {args.trace_out} ({records} records)")
     return 0
 
 
@@ -118,6 +127,13 @@ def _cmd_menu(args):
             node = result
     sys.stdout.write(console.text())
     return 0
+
+
+def _positive_int(text):
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def build_parser():
@@ -154,6 +170,18 @@ def build_parser():
     dse.add_argument("--trials", type=int, default=60,
                      help="trials per CFU family")
     dse.add_argument("--seed", type=int, default=0)
+    dse.add_argument("--workers", type=_positive_int, default=1,
+                     help="processes to shard evaluation batches across")
+    dse.add_argument("--batch", type=_positive_int, default=None,
+                     help="trials per scheduling round (default 8; "
+                          "independent of --workers, so results are "
+                          "identical serial or parallel)")
+    dse.add_argument("--cache-dir", default=None,
+                     help="persistent evaluation cache; warm reruns "
+                          "re-evaluate nothing")
+    dse.add_argument("--trace-out", default=None,
+                     help="write a JSONL trace (trial spans, progress "
+                          "events, counters) here")
     dse.set_defaults(func=_cmd_dse)
 
     rep = sub.add_parser("report",

@@ -23,10 +23,12 @@ from .menu import Menu, UartConsole, build_firmware_menu
 from .playground import BuildReport, Playground, PlaygroundError
 from .reporting import generate_report
 from .project import PROJECTS, BuildArtifacts, Project, ProjectSpec, list_projects, load_project
+from .tracing import TRACE_SCHEMA_VERSION, Span, Tracer
 
 __all__ = [
     "BuildArtifacts", "BuildReport", "Menu", "PROJECTS", "Project",
-    "ProjectSpec", "UartConsole", "build_firmware_menu", "list_projects",
+    "ProjectSpec", "Span", "TRACE_SCHEMA_VERSION", "Tracer",
+    "UartConsole", "build_firmware_menu", "list_projects",
     "load_project", "generate_report", "DeploymentState", "FOMU_BASELINE_CPU", "LadderResult",
     "LadderStep", "Playground", "PlaygroundError", "golden_checksum",
     "golden_input", "kws_initial_state", "kws_ladder", "mnv2_1x1_filter",

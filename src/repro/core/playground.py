@@ -23,6 +23,7 @@ from ..kernels.reference import reference_variants
 from ..perf.estimator import estimate_inference
 from ..rtl.synth import ResourceReport
 from ..soc import Soc, link
+from .tracing import Tracer
 
 
 class PlaygroundError(RuntimeError):
@@ -50,9 +51,11 @@ class BuildReport:
 class Playground:
     """One co-design session: a model deployed to a board."""
 
-    def __init__(self, board, model, cpu_config=None, clock_hz=None):
+    def __init__(self, board, model, cpu_config=None, clock_hz=None,
+                 tracer=None):
         self.board = board
         self.model = model
+        self.tracer = tracer if tracer is not None else Tracer()
         self.soc = Soc(board, cpu_config, clock_hz=clock_hz)
         self.variants = reference_variants()
         self.cfu = None
@@ -104,17 +107,27 @@ class Playground:
     # --- the loop -------------------------------------------------------------------
     def deploy(self, require_fit=True):
         """Link the image and fit the FPGA; the paper's 'Deploy' step."""
-        layout = link(self.soc, self.model, self.placement)
-        fit_result = self.fit()
-        if require_fit and not fit_result.ok:
-            raise PlaygroundError(f"design does not fit:\n{fit_result.summary()}")
-        self._deployed = True
-        return BuildReport(fit=fit_result, layout=layout,
-                           estimate=self.profile())
+        with self.tracer.span("deploy", model=self.model.name,
+                              board=self.board.name) as span:
+            layout = link(self.soc, self.model, self.placement)
+            fit_result = self.fit()
+            span.attrs["fit"] = fit_result.ok
+            if require_fit and not fit_result.ok:
+                self.tracer.count("fit_reject")
+                raise PlaygroundError(
+                    f"design does not fit:\n{fit_result.summary()}")
+            self._deployed = True
+            return BuildReport(fit=fit_result, layout=layout,
+                               estimate=self.profile())
 
     def profile(self, checkpoint=None):
         """Per-operator cycle attribution; the paper's 'Profile' step."""
-        estimate = estimate_inference(self.model, self.system(), self.variants)
+        with self.tracer.span("profile", model=self.model.name,
+                              checkpoint=checkpoint) as span:
+            estimate = estimate_inference(self.model, self.system(),
+                                          self.variants, tracer=self.tracer)
+            span.attrs["cycles"] = estimate.total_cycles
+        self.tracer.count("profile")
         if checkpoint:
             self.history.append((checkpoint, estimate.total_cycles))
         return estimate

@@ -124,7 +124,8 @@ def energy_section(fig6_results):
     return "\n".join(text)
 
 
-def generate_report(path=None, include_dse=False, dse_trials=45):
+def generate_report(path=None, include_dse=False, dse_trials=45,
+                    dse_workers=1, dse_cache_dir=None):
     """Build the full markdown report; returns the text."""
     sections = ["# CFU Playground reproduction — experiment report", ""]
     fig4_text, fig4_results = fig4_section()
@@ -134,12 +135,16 @@ def generate_report(path=None, include_dse=False, dse_trials=45):
                  energy_section(fig6_results), ""]
     if include_dse:
         from ..dse import run_fig7, total_space_size
+        from .tracing import Tracer
 
-        result = run_fig7(trials_per_family=dse_trials)
+        tracer = Tracer()
+        result = run_fig7(trials_per_family=dse_trials, workers=dse_workers,
+                          cache_dir=dse_cache_dir, tracer=tracer)
         sections += [
             "## Figure 7 — design-space exploration", "",
             f"Space: {total_space_size():,} points.", "",
             "```", result.summary(), "```", "",
+            "```", tracer.summary(), "```", "",
         ]
     text = "\n".join(sections)
     if path is not None:

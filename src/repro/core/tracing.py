@@ -1,0 +1,137 @@
+"""Run observability: trial spans, counters, progress events, JSONL export.
+
+Long-running loops (the Fig. 7 DSE engine, the Playground
+deploy-profile-optimize cycle) record what happened into a
+:class:`Tracer`:
+
+- **spans** — named, attribute-tagged durations on a monotonic clock
+  (wall-clock changes cannot corrupt timings);
+- **counters** — monotonic named tallies (``cache_hit``, ``cache_miss``,
+  ``fit_reject``, ...);
+- **events** — point-in-time progress markers (per-family study
+  progress, study start/end).
+
+A trace exports as JSON Lines (one record per line, header first) for
+machine consumption, and as a short human summary via :meth:`Tracer.summary`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+TRACE_SCHEMA_VERSION = 1
+
+
+@dataclass
+class Span:
+    """One timed region; ``attrs`` may be filled in while it is open."""
+
+    name: str
+    start: float                      # seconds since the tracer's epoch
+    duration: float = 0.0
+    attrs: dict = field(default_factory=dict)
+
+    def record(self):
+        record = {"type": "span", "name": self.name,
+                  "start": round(self.start, 9),
+                  "duration": round(self.duration, 9)}
+        record.update(self.attrs)
+        return record
+
+
+class Tracer:
+    """Collects spans, counters, and events for one run.
+
+    ``clock`` is injectable for tests; it must be monotonic.  All
+    recorded times are relative to the tracer's construction instant.
+    """
+
+    def __init__(self, clock=time.monotonic):
+        self._clock = clock
+        self._epoch = clock()
+        self.spans = []
+        self.events = []
+        self.counters = {}
+        self._records = []            # spans + events in completion order
+
+    # --- recording --------------------------------------------------------------
+    def now(self):
+        """Seconds since the tracer's epoch (monotonic)."""
+        return self._clock() - self._epoch
+
+    @contextmanager
+    def span(self, name, **attrs):
+        """Time a region: ``with tracer.span("trial", family=f) as s: ...``.
+
+        The yielded :class:`Span` accepts late attributes
+        (``s.attrs["cache_hit"] = True``) until the block exits.
+        """
+        span = Span(name=name, start=self.now(), attrs=dict(attrs))
+        try:
+            yield span
+        finally:
+            span.duration = self.now() - span.start
+            self._finish(span)
+
+    def record_span(self, name, duration, **attrs):
+        """Record an externally-timed span (e.g. measured in a worker
+        process) as ending now."""
+        span = Span(name=name, start=max(0.0, self.now() - duration),
+                    duration=duration, attrs=dict(attrs))
+        self._finish(span)
+        return span
+
+    def _finish(self, span):
+        self.spans.append(span)
+        self._records.append(span.record())
+
+    def count(self, name, amount=1):
+        self.counters[name] = self.counters.get(name, 0) + amount
+        return self.counters[name]
+
+    def event(self, name, **attrs):
+        record = {"type": "event", "name": name, "time": round(self.now(), 9)}
+        record.update(attrs)
+        self.events.append(record)
+        self._records.append(record)
+        return record
+
+    # --- export -----------------------------------------------------------------
+    def header(self):
+        return {"type": "trace", "schema": TRACE_SCHEMA_VERSION,
+                "spans": len(self.spans), "events": len(self.events),
+                "counters": dict(sorted(self.counters.items()))}
+
+    def records(self):
+        """Header + every span/event record, in completion order."""
+        return [self.header()] + list(self._records)
+
+    def export_jsonl(self, path):
+        """Write the trace as JSON Lines; returns the record count."""
+        records = self.records()
+        with open(path, "w") as handle:
+            for record in records:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        return len(records)
+
+    # --- human summary ----------------------------------------------------------
+    def summary(self):
+        hits = self.counters.get("cache_hit", 0)
+        misses = self.counters.get("cache_miss", 0)
+        lookups = hits + misses
+        rate = 100.0 * hits / lookups if lookups else 0.0
+        lines = [
+            f"trace: {len(self.spans)} spans, {len(self.events)} events",
+            f"cache: {hits} hits / {misses} misses "
+            f"({rate:.1f}% hit rate)",
+            f"fit rejects: {self.counters.get('fit_reject', 0)}",
+        ]
+        for name in sorted(self.counters):
+            if name not in ("cache_hit", "cache_miss", "fit_reject"):
+                lines.append(f"{name}: {self.counters[name]}")
+        busy = sum(s.duration for s in self.spans)
+        lines.append(f"span time: {busy:.3f}s over {self.now():.3f}s elapsed")
+        return "\n".join(lines)

@@ -1,17 +1,32 @@
 """Design-space exploration: the Open Source Vizier stand-in."""
 
 from .algorithms import RandomSearch, RegularizedEvolution, TpeLite
+from .cache import CACHE_SCHEMA_VERSION, MISS, EvaluationCache, cache_key
 from .pareto import dominates, hypervolume_2d, pareto_front
-from .runner import CFU_FAMILIES, DseResult, Fig7Evaluator, run_fig7, total_space_size
+from .pool import MultiprocessingBackend, SerialBackend, WorkerPool, WorkerPoolError
+from .runner import (
+    CFU_FAMILIES,
+    DEFAULT_BATCH,
+    DsePoint,
+    DseResult,
+    EvalOutcome,
+    Fig7Evaluator,
+    evaluate_design,
+    run_fig7,
+    total_space_size,
+)
 from .space import CACHE_SIZES, Parameter, ParameterSpace, point_to_cpu_config, vexriscv_space
 from .study import MAXIMIZE, MINIMIZE, MetricGoal, Study, Trial
 from .vizier import StudyClient, VizierError, VizierService
 
 __all__ = [
-    "CACHE_SIZES", "CFU_FAMILIES", "DseResult", "Fig7Evaluator", "MAXIMIZE",
-    "MINIMIZE", "MetricGoal", "Parameter", "ParameterSpace", "RandomSearch",
-    "RegularizedEvolution", "Study", "TpeLite", "Trial", "dominates",
-    "hypervolume_2d", "pareto_front", "point_to_cpu_config", "run_fig7",
-    "StudyClient", "VizierError", "VizierService",
-    "total_space_size", "vexriscv_space",
+    "CACHE_SCHEMA_VERSION", "CACHE_SIZES", "CFU_FAMILIES", "DEFAULT_BATCH",
+    "DsePoint", "DseResult", "EvalOutcome", "EvaluationCache",
+    "Fig7Evaluator", "MAXIMIZE", "MINIMIZE", "MISS", "MetricGoal",
+    "MultiprocessingBackend", "Parameter", "ParameterSpace", "RandomSearch",
+    "RegularizedEvolution", "SerialBackend", "Study", "TpeLite", "Trial",
+    "WorkerPool", "WorkerPoolError", "cache_key", "dominates",
+    "evaluate_design", "hypervolume_2d", "pareto_front",
+    "point_to_cpu_config", "run_fig7", "StudyClient", "VizierError",
+    "VizierService", "total_space_size", "vexriscv_space",
 ]

@@ -1,0 +1,112 @@
+"""Worker pools: shard evaluation batches across processes.
+
+Two backends behind one ``map(fn, items)`` interface:
+
+- :class:`SerialBackend` — in-process, zero overhead; what
+  ``workers=1`` means.
+- :class:`MultiprocessingBackend` — a forking :mod:`multiprocessing`
+  pool; ``fn`` must be a module-level (picklable) function and the
+  optional ``initializer`` seeds per-process state once.
+
+Either way a worker exception fails the whole batch loudly with a
+:class:`WorkerPoolError` naming the failed item — no hang, no partial
+silent result — and a failed multiprocessing pool is terminated so no
+orphan workers linger.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+
+class WorkerPoolError(RuntimeError):
+    """A worker failed while evaluating a batch."""
+
+
+class SerialBackend:
+    """In-process execution with the same contract as the process pool."""
+
+    def __init__(self, initializer=None, initargs=()):
+        if initializer is not None:
+            initializer(*initargs)
+
+    def map(self, fn, items):
+        items = list(items)
+        results = []
+        for index, item in enumerate(items):
+            try:
+                results.append(fn(item))
+            except Exception as error:
+                raise WorkerPoolError(
+                    f"worker failed on item {index + 1}/{len(items)}: "
+                    f"{error!r}") from error
+        return results
+
+    def close(self):
+        pass
+
+
+def _context():
+    # fork shares the parent's loaded model/board state for free; fall
+    # back to spawn where fork does not exist (non-POSIX platforms).
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platform dependent
+        return multiprocessing.get_context("spawn")
+
+
+class MultiprocessingBackend:
+    """A process pool; exceptions are re-raised as WorkerPoolError and
+    the pool is torn down (never left hanging half-failed)."""
+
+    def __init__(self, workers, initializer=None, initargs=()):
+        self.workers = workers
+        self._pool = _context().Pool(processes=workers,
+                                     initializer=initializer,
+                                     initargs=initargs)
+
+    def map(self, fn, items):
+        items = list(items)
+        try:
+            return self._pool.map(fn, items)
+        except Exception as error:
+            self.close()
+            raise WorkerPoolError(
+                f"worker failed while evaluating a batch of {len(items)}: "
+                f"{error!r}") from error
+
+    def close(self):
+        self._pool.terminate()
+        self._pool.join()
+
+
+class WorkerPool:
+    """``map`` batches across ``workers`` processes (1 = in-process).
+
+    Usable as a context manager; ``close()`` is idempotent.
+    """
+
+    def __init__(self, workers=1, initializer=None, initargs=()):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        if workers == 1:
+            self._backend = SerialBackend(initializer, initargs)
+        else:
+            self._backend = MultiprocessingBackend(workers, initializer,
+                                                   initargs)
+
+    def map(self, fn, items):
+        """Apply ``fn`` to every item; order-preserving.  Raises
+        :class:`WorkerPoolError` if any worker raises."""
+        return self._backend.map(fn, items)
+
+    def close(self):
+        self._backend.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False

@@ -11,15 +11,26 @@ Latency comes from the cycle estimator (the Verilator stand-in), and
 resources from the netlist estimator (the yosys stand-in), exactly the
 two oracles the paper wires into Vizier.  The total space is
 3 x 31,104 = 93,312 points ("approximately 93,000").
+
+Evaluation runs on the parallel engine: trials are suggested in
+fixed-size batches, served from a content-addressed
+:class:`~repro.dse.cache.EvaluationCache` when warm, and cache misses
+are sharded across a :class:`~repro.dse.pool.WorkerPool`.  The batch
+size is deliberately independent of the worker count, so the same seed
+produces the same Pareto fronts whether the run is serial or parallel.
+Every trial is recorded as a span (family, cache-hit flag, fit outcome)
+on a :class:`~repro.core.tracing.Tracer`.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from ..accel.kws.resources import cfu2_resources
 from ..accel.mnv2.resources import stage_resources
 from ..boards import ARTY_A7_35T, fit
+from ..core.tracing import Tracer
 from ..kernels.conv1x1 import OverlapInput
 from ..kernels.kws import kws_variants
 from ..kernels.reference import reference_variants
@@ -27,11 +38,18 @@ from ..models import load
 from ..perf.estimator import estimate_inference
 from ..soc import Soc
 from .algorithms import RegularizedEvolution
+from .cache import MISS, EvaluationCache, cache_key
 from .pareto import pareto_front
+from .pool import WorkerPool
 from .space import point_to_cpu_config, vexriscv_space
 from .study import MetricGoal, Study
 
 CFU_FAMILIES = ("none", "cfu1", "cfu2")
+
+# Trials suggested (and evaluated) per scheduling round.  Fixed — NOT a
+# function of the worker count — so serial and parallel runs see the
+# same algorithm state at every suggestion and stay bit-identical.
+DEFAULT_BATCH = 8
 
 
 def family_extras(family):
@@ -59,10 +77,54 @@ class DsePoint:
     def metrics(self):
         return (self.cycles, self.logic_cells)
 
+    def key(self):
+        """Value identity: the configuration, not the object.  Two
+        evaluations of one config — possibly in different processes, or
+        round-tripped through the persistent cache — share a key."""
+        return (self.family, tuple(sorted(self.parameters.items())))
+
+    def to_record(self):
+        return {"family": self.family, "parameters": dict(self.parameters),
+                "cycles": self.cycles, "logic_cells": self.logic_cells}
+
+    @classmethod
+    def from_record(cls, record):
+        return cls(family=record["family"],
+                   parameters=dict(record["parameters"]),
+                   cycles=float(record["cycles"]),
+                   logic_cells=int(record["logic_cells"]))
+
+
+@dataclass
+class EvalOutcome:
+    """One evaluation as seen by the engine: the point (or None for "no
+    fit"), whether the cache served it, and how long it took."""
+
+    point: object
+    cache_hit: bool
+    seconds: float = 0.0
+
 
 @dataclass
 class DseResult:
     points: list = field(default_factory=list)
+    _keys: set = field(default_factory=set, repr=False, compare=False)
+
+    def __post_init__(self):
+        self._keys = {p.key() for p in self.points}
+
+    def add(self, point):
+        """Record ``point`` unless an equal-valued point is present.
+
+        Dedup is by value, not ``id()``: points that round-trip through
+        worker processes or the persistent cache come back as distinct
+        objects that must still count once.
+        """
+        key = point.key()
+        if key not in self._keys:
+            self._keys.add(key)
+            self.points.append(point)
+        return self
 
     def family_points(self, family):
         return [p for p in self.points if p.family == family]
@@ -80,84 +142,213 @@ class DseResult:
 
     def summary(self):
         lines = []
-        overall = {id(p) for p in self.overall_front()}
+        overall = {p.key() for p in self.overall_front()}
         for family in CFU_FAMILIES:
             front = self.family_front(family)
             lines.append(f"{family}: {len(self.family_points(family))} evaluated, "
                          f"{len(front)} Pareto-optimal")
             for p in front:
-                star = " *" if id(p) in overall else ""
+                star = " *" if p.key() in overall else ""
                 lines.append(
                     f"  {p.cycles:>14,.0f} cyc  {p.logic_cells:>6} cells{star}"
                 )
         return "\n".join(lines)
 
 
-class Fig7Evaluator:
-    """Evaluates one (cpu point, family) to (cycles, cells); None = no fit."""
+def evaluate_design(model, board, parameters, family):
+    """Evaluate one (cpu point, family) to a DsePoint; None = no fit.
 
-    def __init__(self, model=None, board=ARTY_A7_35T):
+    Pure function of its arguments — safe to run in worker processes.
+    """
+    cpu = point_to_cpu_config(parameters)
+    if cpu.multiplier == "none":
+        # TFLM int8 kernels fundamentally need multiplication; a
+        # mul-less CPU falls back to software emulation (modeled),
+        # but a CFU-equipped design still requires it for addressing.
+        pass
+    extras, cfu_resources = family_extras(family)
+    soc = Soc(board, cpu)
+    fit_result = fit(board, soc.resources(), cfu_resources)
+    if not fit_result.ok:
+        return None
+    variants = reference_variants().extended(*extras)
+    estimate = estimate_inference(model, soc.system_config(), variants)
+    return DsePoint(
+        family=family,
+        parameters=dict(parameters),
+        cycles=estimate.total_cycles,
+        logic_cells=fit_result.usage.logic_cells,
+    )
+
+
+# Per-worker-process state, seeded once by the pool initializer (cheap
+# under fork: the objects are inherited, not pickled).
+_WORKER_STATE = {}
+
+
+def _init_fig7_worker(model, board):
+    _WORKER_STATE["model"] = model
+    _WORKER_STATE["board"] = board
+
+
+def _fig7_worker_evaluate(task):
+    parameters, family = task
+    start = time.monotonic()
+    point = evaluate_design(_WORKER_STATE["model"], _WORKER_STATE["board"],
+                            parameters, family)
+    return point, time.monotonic() - start
+
+
+class Fig7Evaluator:
+    """Evaluates one (cpu point, family) to (cycles, cells); None = no fit.
+
+    Backed by an :class:`EvaluationCache` (in-memory by default, or a
+    persistent directory) and a :class:`Tracer` that counts cache
+    hits/misses and fit rejections.
+    """
+
+    def __init__(self, model=None, board=ARTY_A7_35T, cache=None, tracer=None):
         self.model = model or load("mobilenet_v2", width_multiplier=0.75,
                                    num_classes=100)
         self.board = board
-        self._cache = {}
+        self.cache = cache if cache is not None else EvaluationCache()
+        self.tracer = tracer if tracer is not None else Tracer()
+
+    def cache_key(self, parameters, family):
+        return cache_key(parameters, family,
+                         model=getattr(self.model, "name", None),
+                         board=self.board.name)
 
     def evaluate(self, parameters, family):
-        key = (tuple(sorted(parameters.items())), family)
-        if key in self._cache:
-            return self._cache[key]
-        result = self._evaluate(parameters, family)
-        self._cache[key] = result
-        return result
+        return self.evaluate_batch([(parameters, family)])[0].point
+
+    def evaluate_batch(self, tasks, pool=None):
+        """Evaluate ``[(parameters, family), ...]``; cache hits are
+        served in-process, misses shard across ``pool`` (or run inline
+        when ``pool`` is None).  Returns one :class:`EvalOutcome` per
+        task, in task order."""
+        outcomes = [None] * len(tasks)
+        pending = {}  # key -> indices awaiting that evaluation
+        for index, (parameters, family) in enumerate(tasks):
+            key = self.cache_key(parameters, family)
+            cached = self.cache.get(key)
+            if cached is not MISS or key in pending:
+                # warm cache, or a duplicate of an earlier miss in this
+                # same batch: either way no new evaluation is spent
+                if cached is not MISS:
+                    self.tracer.count("cache_hit")
+                    outcomes[index] = EvalOutcome(point=cached, cache_hit=True)
+                else:
+                    pending[key].append(index)
+            else:
+                pending[key] = [index]
+        if pending:
+            keys = list(pending)
+            jobs = [tasks[pending[key][0]] for key in keys]
+            if pool is not None:
+                results = pool.map(_fig7_worker_evaluate, jobs)
+            else:
+                results = [self._timed_evaluate(parameters, family)
+                           for parameters, family in jobs]
+            for key, (point, seconds) in zip(keys, results):
+                self.cache.put(key, point)
+                indices = pending[key]
+                self.tracer.count("cache_miss")
+                if point is None:
+                    self.tracer.count("fit_reject")
+                outcomes[indices[0]] = EvalOutcome(point=point,
+                                                   cache_hit=False,
+                                                   seconds=seconds)
+                for index in indices[1:]:  # in-batch duplicates
+                    self.tracer.count("cache_hit")
+                    outcomes[index] = EvalOutcome(point=point, cache_hit=True)
+        return outcomes
+
+    def _timed_evaluate(self, parameters, family):
+        start = time.monotonic()
+        point = evaluate_design(self.model, self.board, parameters, family)
+        return point, time.monotonic() - start
 
     def _evaluate(self, parameters, family):
-        cpu = point_to_cpu_config(parameters)
-        if cpu.multiplier == "none":
-            # TFLM int8 kernels fundamentally need multiplication; a
-            # mul-less CPU falls back to software emulation (modeled),
-            # but a CFU-equipped design still requires it for addressing.
-            pass
-        extras, cfu_resources = family_extras(family)
-        soc = Soc(self.board, cpu)
-        fit_result = fit(self.board, soc.resources(), cfu_resources)
-        if not fit_result.ok:
-            return None
-        variants = reference_variants().extended(*extras)
-        estimate = estimate_inference(self.model, soc.system_config(), variants)
-        return DsePoint(
-            family=family,
-            parameters=dict(parameters),
-            cycles=estimate.total_cycles,
-            logic_cells=fit_result.usage.logic_cells,
-        )
+        return evaluate_design(self.model, self.board, parameters, family)
 
 
 def run_fig7(trials_per_family=120, seed=0, evaluator=None,
-             algorithm_factory=None):
-    """Run the three studies and return a :class:`DseResult`."""
-    evaluator = evaluator or Fig7Evaluator()
+             algorithm_factory=None, workers=1, batch=None, cache_dir=None,
+             tracer=None):
+    """Run the three studies and return a :class:`DseResult`.
+
+    ``workers`` shards each suggestion batch across processes;
+    ``batch`` (default :data:`DEFAULT_BATCH`) is fixed independently of
+    ``workers`` so the same seed yields identical Pareto fronts serial
+    or parallel.  ``cache_dir`` persists evaluations across runs — a
+    warm rerun performs zero fresh evaluations.  ``tracer`` (or the
+    evaluator's own) collects per-trial spans, per-family progress
+    events, and cache/fit counters.
+    """
+    if evaluator is None:
+        tracer = tracer if tracer is not None else Tracer()
+        evaluator = Fig7Evaluator(cache=EvaluationCache(cache_dir),
+                                  tracer=tracer)
+    else:
+        if cache_dir is not None:
+            evaluator.cache = EvaluationCache(cache_dir)
+        if tracer is not None:
+            evaluator.tracer = tracer  # one tracer owns the whole run
+        else:
+            tracer = evaluator.tracer
     algorithm_factory = algorithm_factory or (lambda: RegularizedEvolution())
+    batch = DEFAULT_BATCH if batch is None else batch
+    if batch < 1:
+        raise ValueError(f"batch must be >= 1, got {batch}")
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
     result = DseResult()
-    seen = set()
-    for family in CFU_FAMILIES:
-        study = Study(
-            space=vexriscv_space(),
-            goals=[MetricGoal("cycles"), MetricGoal("logic_cells")],
-            algorithm=algorithm_factory(),
-            name=f"fig7-{family}",
-            seed=seed,
-        )
-
-        def evaluate(parameters, family=family):
-            point = evaluator.evaluate(parameters, family)
-            if point is None:
-                return None
-            if id(point) not in seen:  # revisited configs count once
-                seen.add(id(point))
-                result.points.append(point)
-            return {"cycles": point.cycles, "logic_cells": point.logic_cells}
-
-        study.run(evaluate, budget=trials_per_family)
+    pool = None
+    if workers > 1:
+        pool = WorkerPool(workers, initializer=_init_fig7_worker,
+                          initargs=(evaluator.model, evaluator.board))
+    try:
+        for family in CFU_FAMILIES:
+            tracer.event("family_start", family=family,
+                         budget=trials_per_family)
+            study = Study(
+                space=vexriscv_space(),
+                goals=[MetricGoal("cycles"), MetricGoal("logic_cells")],
+                algorithm=algorithm_factory(),
+                name=f"fig7-{family}",
+                seed=seed,
+            )
+            remaining = trials_per_family
+            while remaining > 0:
+                trials = study.suggest(min(batch, remaining))
+                outcomes = evaluator.evaluate_batch(
+                    [(trial.parameters, family) for trial in trials],
+                    pool=pool,
+                )
+                for trial, outcome in zip(trials, outcomes):
+                    point = outcome.point
+                    tracer.record_span(
+                        "trial", outcome.seconds, study=study.name,
+                        trial=trial.trial_id, family=family,
+                        cache_hit=outcome.cache_hit, fit=point is not None,
+                    )
+                    if point is None:
+                        trial.complete(infeasible=True)
+                    else:
+                        trial.complete({"cycles": point.cycles,
+                                        "logic_cells": point.logic_cells})
+                        result.add(point)  # revisited configs count once
+                    remaining -= 1
+                tracer.event("progress", family=family,
+                             completed=trials_per_family - remaining,
+                             budget=trials_per_family)
+            tracer.event("family_done", family=family,
+                         evaluated=len(result.family_points(family)),
+                         front=len(result.family_front(family)))
+    finally:
+        if pool is not None:
+            pool.close()
     return result
 
 

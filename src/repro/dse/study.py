@@ -86,16 +86,30 @@ class Study:
         """Pareto-optimal feasible trials across all goals."""
         return pareto_front(self.completed_trials(), key=self.metric_tuple)
 
-    def run(self, evaluate, budget, batch=1):
+    def run(self, evaluate, budget, batch=1, pool=None):
         """Convenience loop: suggest -> evaluate -> complete, ``budget`` times.
 
         ``evaluate(parameters)`` returns a metrics dict, or None for an
         infeasible point (e.g. the design does not fit the FPGA).
+
+        With ``pool`` (a :class:`~repro.dse.pool.WorkerPool`) each
+        suggested batch is sharded across workers; trials are still
+        completed in suggestion order, so a run is deterministic for a
+        given ``batch`` regardless of the worker count.  A worker
+        exception propagates as
+        :class:`~repro.dse.pool.WorkerPoolError` and leaves the failing
+        batch's trials pending — the study fails loudly, never with a
+        partial silent result.
         """
         remaining = budget
         while remaining > 0:
-            for trial in self.suggest(min(batch, remaining)):
-                metrics = evaluate(trial.parameters)
+            trials = self.suggest(min(batch, remaining))
+            parameters = [t.parameters for t in trials]
+            if pool is not None:
+                results = pool.map(evaluate, parameters)
+            else:
+                results = [evaluate(p) for p in parameters]
+            for trial, metrics in zip(trials, results):
                 if metrics is None:
                     trial.complete(infeasible=True)
                 else:

@@ -58,6 +58,71 @@ def test_front_sorted_by_first_objective(pts):
     assert xs == sorted(xs)
 
 
+@given(pts=points, seed=st.integers(0, 2**16))
+def test_pareto_front_is_order_invariant(pts, seed):
+    import random
+
+    shuffled = list(pts)
+    random.Random(seed).shuffle(shuffled)
+    assert sorted(pareto_front(pts)) == sorted(pareto_front(shuffled))
+
+
+@given(pts=points)
+def test_pareto_front_is_idempotent(pts):
+    front = pareto_front(pts)
+    assert pareto_front(front) == front
+
+
+# --- cache key canonicalization ------------------------------------------------------
+
+param_dicts = st.dictionaries(
+    st.sampled_from(["icache", "dcache", "mul", "div", "shift", "bp"]),
+    st.one_of(st.booleans(), st.integers(0, 1 << 17),
+              st.sampled_from(["none", "iterative", "single_cycle"])),
+    min_size=1, max_size=6,
+)
+
+
+@given(parameters=param_dicts, seed=st.integers(0, 2**16))
+def test_cache_key_ignores_dict_insertion_order(parameters, seed):
+    from repro.dse import cache_key
+
+    import random
+
+    names = list(parameters)
+    random.Random(seed).shuffle(names)
+    reordered = {name: parameters[name] for name in names}
+    assert cache_key(parameters, "cfu1", model="m", board="b") \
+        == cache_key(reordered, "cfu1", model="m", board="b")
+
+
+@given(a=param_dicts, b=param_dicts)
+def test_cache_key_distinct_configs_do_not_collide(a, b):
+    import json
+
+    from repro.dse import cache_key
+
+    key_a = cache_key(a, "cfu1", model="m", board="b")
+    key_b = cache_key(b, "cfu1", model="m", board="b")
+    # canonical-JSON equality, not dict equality: JSON (and the key)
+    # rightly distinguishes True from 1 where Python's == does not
+    same = (json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True))
+    assert (key_a == key_b) == same
+
+
+@given(parameters=param_dicts)
+def test_cache_key_separates_families_models_and_boards(parameters):
+    from repro.dse import cache_key
+
+    keys = {
+        cache_key(parameters, "cfu1", model="m", board="b"),
+        cache_key(parameters, "cfu2", model="m", board="b"),
+        cache_key(parameters, "cfu1", model="other", board="b"),
+        cache_key(parameters, "cfu1", model="m", board="other"),
+    }
+    assert len(keys) == 4
+
+
 def test_hypervolume_simple():
     front = [(1, 3), (2, 1)]
     # area: x in [1,2): y from 3 -> height 7; x in [2,10): height 9
