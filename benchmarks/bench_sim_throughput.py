@@ -1,0 +1,237 @@
+"""Simulator throughput: decoded-instruction-cache fast path vs the
+reference ``step()`` interpreter.
+
+Firmware integration workloads (the dot-product CFU firmware and a
+memcpy/UART firmware, both on the full SoC bus) plus a bare-machine ALU
+loop run through ``Machine.run(fast=True)`` and the reference
+``fast=False`` loop.  Results — instructions/sec, wall-clock, speedup,
+and an architectural-equality check per workload — land in
+``BENCH_sim.json`` at the repo root so every future PR appends to a
+machine-readable perf trajectory.
+
+Knobs:
+- ``REPRO_SIM_BENCH_REPS``     outer repetitions (default 2000)
+- ``REPRO_SIM_SPEEDUP_MIN``    headline threshold (default 5.0)
+"""
+
+import json
+import os
+import time
+
+from repro.accel import KwsCfu
+from repro.accel.kws import model as km
+from repro.boards import ARTY_A7_35T
+from repro.cpu import Machine
+from repro.cpu.vexriscv import ARTY_DEFAULT
+from repro.emu import Emulator
+from repro.soc import Soc
+
+REPS = int(os.environ.get("REPRO_SIM_BENCH_REPS", "2000"))
+SPEEDUP_MIN = float(os.environ.get("REPRO_SIM_SPEEDUP_MIN", "5.0"))
+BENCH_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_sim.json")
+
+N = 32  # dot-product length per repetition
+
+
+def dot_firmware(data_base, uart_addr, reps):
+    """The integration-test CFU dot-product firmware with an outer
+    repetition loop (same instruction mix, benchmark-sized)."""
+    return f"""
+        li   s0, {reps}
+    outer:
+        li   t0, {data_base}
+        li   t1, {data_base + N}
+        li   t2, {N // 4}
+        li   a1, 0
+        li   a2, 0
+        cfu  1, {km.F3_MAC4}, a0, a1, a2
+    loop:
+        lw   a1, 0(t0)
+        lw   a2, 0(t1)
+        cfu  0, {km.F3_MAC4}, a0, a1, a2
+        addi t0, t0, 4
+        addi t1, t1, 4
+        addi t2, t2, -1
+        bnez t2, loop
+        cfu  0, {km.F3_READ_ACC}, a0, x0, x0
+        addi s0, s0, -1
+        bnez s0, outer
+        li   t5, {uart_addr}
+        li   t6, 79                 # 'O'
+        sw   t6, 0(t5)
+        li   t6, 75                 # 'K'
+        sw   t6, 0(t5)
+        li   a7, 93
+        ecall
+    """
+
+
+def memcpy_firmware(src, dst, uart_addr, reps):
+    """Word-copy firmware: load/store/branch traffic on the SoC bus."""
+    return f"""
+        li   s0, {reps}
+    outer:
+        li   t0, {src}
+        li   t1, {dst}
+        li   t2, {N // 4}
+    loop:
+        lw   t3, 0(t0)
+        sw   t3, 0(t1)
+        addi t0, t0, 4
+        addi t1, t1, 4
+        addi t2, t2, -1
+        bnez t2, loop
+        addi s0, s0, -1
+        bnez s0, outer
+        li   t5, {uart_addr}
+        li   t6, 79                 # 'O'
+        sw   t6, 0(t5)
+        li   a7, 93
+        ecall
+    """
+
+
+ALU_LOOP = """
+    li   t0, 0
+    li   t1, {iters}
+loop:
+    addi t0, t0, 1
+    xor  t2, t0, t1
+    and  t3, t2, t0
+    or   t4, t3, t2
+    add  t5, t4, t0
+    slli t6, t5, 3
+    srli a1, t6, 2
+    sub  a2, a1, t0
+    bne  t0, t1, loop
+    li   a7, 93
+    li   a0, 0
+    ecall
+"""
+
+
+def build_firmware_emulator(kind, with_timing):
+    soc = Soc(ARTY_A7_35T, ARTY_DEFAULT)
+    ram = soc.memory_map.get("main_ram").base
+    uart = soc.csr_bank.get("uart_rxtx").address
+    data_base = ram + 0x10000
+    if kind == "dot":
+        emu = Emulator(soc, cfu=KwsCfu(), with_timing=with_timing)
+        emu.bus.load_bytes(data_base, bytes((i * 37 + 11) & 0xFF
+                                            for i in range(2 * N)))
+        source = dot_firmware(data_base, uart, REPS)
+    else:
+        emu = Emulator(soc, with_timing=with_timing)
+        emu.bus.load_bytes(data_base, bytes((i * 53 + 7) & 0xFF
+                                            for i in range(N)))
+        source = memcpy_firmware(data_base, data_base + 0x1000, uart, REPS)
+    emu.load_assembly(source, region="main_ram")
+    return emu
+
+
+def build_alu_machine(_with_timing):
+    machine = Machine()
+    machine.load_assembly(ALU_LOOP.format(iters=REPS * 20))
+    return machine
+
+
+def arch_state(machine):
+    return (list(machine.regs), machine.pc, machine.instret, machine.cycles,
+            machine.halted, machine.exit_code)
+
+
+def timed_run(build, mode, fast):
+    """Build a fresh environment and run it; returns (seconds, machine)."""
+    target = build(mode == "timed")
+    machine = target.machine if isinstance(target, Emulator) else target
+    start = time.perf_counter()
+    target.run(max_instructions=200_000_000, fast=fast)
+    return time.perf_counter() - start, machine
+
+
+WORKLOADS = [
+    # (name, builder, is_firmware)
+    ("firmware-dot-cfu", lambda timed: build_firmware_emulator("dot", timed),
+     True),
+    ("firmware-memcpy", lambda timed: build_firmware_emulator("memcpy",
+                                                              timed), True),
+    ("alu-loop", build_alu_machine, False),
+]
+
+
+def measure():
+    results = []
+    for name, build, is_firmware in WORKLOADS:
+        modes = ["functional", "timed"] if is_firmware else ["functional"]
+        for mode in modes:
+            ref_seconds, ref_machine = timed_run(build, mode, fast=False)
+            fast_seconds, fast_machine = timed_run(build, mode, fast=True)
+            instructions = fast_machine.instret
+            assert instructions == ref_machine.instret
+            identical = arch_state(fast_machine) == arch_state(ref_machine)
+            results.append({
+                "workload": name,
+                "mode": mode,
+                "firmware": is_firmware,
+                "instructions": instructions,
+                "reference": {
+                    "seconds": round(ref_seconds, 4),
+                    "instructions_per_second": round(
+                        instructions / ref_seconds),
+                },
+                "fast": {
+                    "seconds": round(fast_seconds, 4),
+                    "instructions_per_second": round(
+                        instructions / fast_seconds),
+                    "decode_cache_entries":
+                        fast_machine.decode_cache_entries,
+                    "cache_invalidations": fast_machine.invalidation_count,
+                },
+                "speedup": round(ref_seconds / fast_seconds, 2),
+                "identical_state": identical,
+            })
+    return results
+
+
+def test_sim_throughput(report):
+    results = measure()
+    headline_rows = [r for r in results
+                     if r["firmware"] and r["mode"] == "functional"]
+    headline = min(headline_rows, key=lambda r: r["speedup"])
+    payload = {
+        "benchmark": "sim_throughput",
+        "generated_by": "benchmarks/bench_sim_throughput.py",
+        "reps": REPS,
+        "workloads": results,
+        "headline": {
+            "description": ("min fast-path speedup over the reference "
+                            "step() loop on firmware integration "
+                            "workloads (functional mode)"),
+            "workload": headline["workload"],
+            "speedup": headline["speedup"],
+            "threshold": SPEEDUP_MIN,
+            "passed": headline["speedup"] >= SPEEDUP_MIN,
+        },
+    }
+    with open(BENCH_PATH, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+    report(f"Simulator throughput (reps={REPS})")
+    report(f"{'workload':<18} {'mode':<11} {'ref ips':>10} {'fast ips':>10} "
+           f"{'speedup':>8}  state")
+    for r in results:
+        report(f"{r['workload']:<18} {r['mode']:<11} "
+               f"{r['reference']['instructions_per_second']:>10,} "
+               f"{r['fast']['instructions_per_second']:>10,} "
+               f"{r['speedup']:>7.2f}x  "
+               f"{'identical' if r['identical_state'] else 'MISMATCH'}")
+    report(f"headline: {headline['workload']} {headline['speedup']:.2f}x "
+           f"(threshold {SPEEDUP_MIN}x)")
+    report(f"[BENCH_sim.json written to {os.path.abspath(BENCH_PATH)}]")
+
+    for r in results:
+        assert r["identical_state"], f"{r['workload']}/{r['mode']} diverged"
+    assert headline["speedup"] >= SPEEDUP_MIN, (
+        f"fast path only {headline['speedup']}x on {headline['workload']} "
+        f"(needs ≥{SPEEDUP_MIN}x)")

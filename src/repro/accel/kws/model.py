@@ -80,14 +80,27 @@ class KwsCfu(CfuModel):
         if funct3 == F3_MAC4:
             if funct7 == 1:
                 self.acc = 0
-            dot = sum(_s8(a >> (8 * i)) * _s8(b >> (8 * i)) for i in range(4))
-            self.acc = _s32(self.acc + dot)
-            return self.acc & 0xFFFFFFFF
+            # Lanes unrolled with inline sign extension ((x ^ 0x80) - 0x80);
+            # this is the hottest CFU op in simulation.
+            dot = ((((a & 0xFF) ^ 0x80) - 0x80)
+                   * (((b & 0xFF) ^ 0x80) - 0x80)
+                   + (((a >> 8 & 0xFF) ^ 0x80) - 0x80)
+                   * (((b >> 8 & 0xFF) ^ 0x80) - 0x80)
+                   + (((a >> 16 & 0xFF) ^ 0x80) - 0x80)
+                   * (((b >> 16 & 0xFF) ^ 0x80) - 0x80)
+                   + (((a >> 24 & 0xFF) ^ 0x80) - 0x80)
+                   * (((b >> 24 & 0xFF) ^ 0x80) - 0x80))
+            acc = (self.acc + dot) & 0xFFFFFFFF
+            self.acc = acc - (1 << 32) if acc & 0x8000_0000 else acc
+            return acc
         if funct3 == F3_MAC1:
             if funct7 == 1:
                 self.acc = 0
-            self.acc = _s32(self.acc + _s8(a) * _s8(b))
-            return self.acc & 0xFFFFFFFF
+            prod = ((((a & 0xFF) ^ 0x80) - 0x80)
+                    * (((b & 0xFF) ^ 0x80) - 0x80))
+            acc = (self.acc + prod) & 0xFFFFFFFF
+            self.acc = acc - (1 << 32) if acc & 0x8000_0000 else acc
+            return acc
         if funct3 == F3_POSTPROC:
             acc = _s32(self.acc + _s32(b))
             scaled = int(multiply_by_quantized_multiplier(acc, self.mult,

@@ -156,7 +156,8 @@ class Playground:
     def emulator(self, with_timing=True):
         from ..emu import Emulator
 
-        return Emulator(self.soc, cfu=self.cfu, with_timing=with_timing)
+        return Emulator(self.soc, cfu=self.cfu, with_timing=with_timing,
+                        tracer=self.tracer)
 
     def speedup_history(self):
         if not self.history:

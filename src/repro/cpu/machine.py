@@ -9,6 +9,21 @@ which case it also accumulates a cycle count.
 The machine halts on ``ebreak``; ``ecall`` invokes a pluggable handler
 (default: treat ``a7 == 93`` as exit-with-code-in-``a0``, anything else
 halts too).
+
+Two execution paths share the same architectural semantics:
+
+- :meth:`Machine.step` — the reference interpreter: fetch, decode, and
+  execute one instruction.  Nothing is cached; this is the slow path
+  the differential suite (``tests/test_sim_differential.py``) holds the
+  fast path against.
+- :meth:`Machine.run` (default ``fast=True``) — the fast path: a
+  decoded-instruction cache keyed by physical address feeds a
+  pre-specialized dispatch loop that keeps the hot state (pc, cycle and
+  instruction counters, the register file) in locals.  ``isa.decode``
+  runs once per *static* instruction; each decoded instruction is bound
+  to a dispatch kind with its operand fields already extracted (and
+  pc-relative targets precomputed).  Stores invalidate the cache at
+  page granularity, so self-modifying code stays correct.
 """
 
 from __future__ import annotations
@@ -45,11 +60,31 @@ class SparseMemory:
         return page
 
     def load_bytes(self, addr, data):
-        for i, byte in enumerate(data):
-            self.write8(addr + i, byte)
+        if not isinstance(data, (bytes, bytearray, memoryview)):
+            data = bytes(byte & 0xFF for byte in data)
+        view = memoryview(data)
+        offset = 0
+        remaining = len(view)
+        while remaining:
+            page = self._page(addr)
+            start = addr & (_PAGE_SIZE - 1)
+            chunk = min(remaining, _PAGE_SIZE - start)
+            page[start:start + chunk] = view[offset:offset + chunk]
+            addr += chunk
+            offset += chunk
+            remaining -= chunk
 
     def read_bytes(self, addr, length):
-        return bytes(self.read8(addr + i) for i in range(length))
+        parts = []
+        remaining = length
+        while remaining > 0:
+            page = self._page(addr)
+            start = addr & (_PAGE_SIZE - 1)
+            chunk = min(remaining, _PAGE_SIZE - start)
+            parts.append(bytes(page[start:start + chunk]))
+            addr += chunk
+            remaining -= chunk
+        return b"".join(parts)
 
     def read8(self, addr):
         return self._page(addr)[addr & (_PAGE_SIZE - 1)]
@@ -81,6 +116,150 @@ class SparseMemory:
             self.write16(addr + 2, value >> 16)
 
 
+# --- decoded-instruction dispatch kinds -------------------------------------------
+#
+# Each cached entry is a 7-tuple ``(kind, a, b, c, d, ins, reads)``:
+# ``kind`` selects the handler in the fast loop, ``a``..``d`` carry the
+# pre-extracted operand fields (meaning depends on the kind), ``ins`` is
+# the full decoded :class:`~repro.cpu.isa.Instruction`, and ``reads`` is
+# the register-read tuple the timing model's hazard interlock checks.
+# Kind numbering is grouped so the fast loop can dispatch on ranges:
+#   0..12   simple ALU (no extra timing cost)
+#   14..19  shifts          20..23 multiplies        24..27 divides
+#   32..36  loads           40..42 stores            64..69 branches
+#   80..81  jumps           96..   CFU/system/fence/raise
+
+_K_ADDI, _K_SLTI, _K_SLTIU, _K_XORI, _K_ORI, _K_ANDI = range(6)
+_K_ADD, _K_SUB, _K_SLT, _K_SLTU, _K_XOR, _K_OR, _K_AND = range(6, 13)
+_K_CONST = 13                      # lui/auipc: value fully precomputed
+_K_SLLI, _K_SRLI, _K_SRAI, _K_SLL, _K_SRL, _K_SRA = range(14, 20)
+_K_MUL, _K_MULH, _K_MULHSU, _K_MULHU = range(20, 24)
+_K_DIV, _K_DIVU, _K_REM, _K_REMU = range(24, 28)
+_K_LB, _K_LH, _K_LW, _K_LBU, _K_LHU = range(32, 37)
+_K_SB, _K_SH, _K_SW = range(40, 43)
+_K_BEQ, _K_BNE, _K_BLT, _K_BGE, _K_BLTU, _K_BGEU = range(64, 70)
+_K_JAL, _K_JALR = 80, 81
+_K_CFU, _K_EBREAK, _K_ECALL, _K_CSR, _K_FENCE, _K_RAISE = range(96, 102)
+
+_ALU_IMM_KINDS = {0: _K_ADDI, 2: _K_SLTI, 3: _K_SLTIU, 4: _K_XORI,
+                  6: _K_ORI, 7: _K_ANDI}
+_ALU_REG_KINDS = {0: _K_ADD, 2: _K_SLT, 3: _K_SLTU, 4: _K_XOR,
+                  6: _K_OR, 7: _K_AND}
+_MULDIV_KINDS = {0: _K_MUL, 1: _K_MULH, 2: _K_MULHSU, 3: _K_MULHU,
+                 4: _K_DIV, 5: _K_DIVU, 6: _K_REM, 7: _K_REMU}
+_LOAD_KINDS = {0: _K_LB, 1: _K_LH, 2: _K_LW, 4: _K_LBU, 5: _K_LHU}
+_STORE_KINDS = {0: _K_SB, 1: _K_SH, 2: _K_SW}
+_BRANCH_KINDS = {0: _K_BEQ, 1: _K_BNE, 4: _K_BLT, 5: _K_BGE,
+                 6: _K_BLTU, 7: _K_BGEU}
+
+
+def _hazard_reads(ins):
+    """Registers the incoming instruction reads, per the interlock rule
+    in :meth:`Machine._hazard_stall` (must match it exactly)."""
+    reads = ()
+    if ins.opcode not in (isa.OPCODE_LUI, isa.OPCODE_AUIPC, isa.OPCODE_JAL):
+        reads = (ins.rs1,)
+    if ins.opcode in (isa.OPCODE_OP, isa.OPCODE_BRANCH, isa.OPCODE_STORE,
+                      OPCODE_CUSTOM0):
+        reads = reads + (ins.rs2,)
+    return reads
+
+
+def _muldiv_kind(kind, rs1, rs2):
+    """M-extension arithmetic for the fast loop (timing cost is the
+    caller's job)."""
+    s1 = rs1 - (1 << 32) if rs1 & 0x80000000 else rs1
+    s2 = rs2 - (1 << 32) if rs2 & 0x80000000 else rs2
+    if kind == _K_MUL:
+        return s1 * s2
+    if kind == _K_MULH:
+        return (s1 * s2) >> 32
+    if kind == _K_MULHSU:
+        return (s1 * rs2) >> 32
+    if kind == _K_MULHU:
+        return (rs1 * rs2) >> 32
+    if kind == _K_DIV:
+        return -1 if s2 == 0 else _div_trunc(s1, s2)
+    if kind == _K_DIVU:
+        return _MASK32 if rs2 == 0 else rs1 // rs2
+    if kind == _K_REM:
+        return s1 if s2 == 0 else s1 - _div_trunc(s1, s2) * s2
+    return rs1 if rs2 == 0 else rs1 % rs2
+
+
+def _specialize(pc, ins):
+    """Bind a decoded instruction to its dispatch kind with operand
+    fields extracted and pc-relative values precomputed."""
+    op = ins.opcode
+    reads = _hazard_reads(ins)
+    f3 = ins.funct3
+
+    if op == isa.OPCODE_OP_IMM:
+        if f3 == 1:
+            return (_K_SLLI, ins.rd, ins.rs1, ins.imm & 0x1F, 0, ins, reads)
+        if f3 == 5:
+            kind = _K_SRAI if ins.funct7 & 0x20 else _K_SRLI
+            return (kind, ins.rd, ins.rs1, ins.imm & 0x1F, 0, ins, reads)
+        imm = ins.imm & _MASK32 if f3 == 3 else ins.imm
+        return (_ALU_IMM_KINDS[f3], ins.rd, ins.rs1, imm, 0, ins, reads)
+    if op == isa.OPCODE_OP:
+        if ins.funct7 == 0x01:
+            return (_MULDIV_KINDS[f3], ins.rd, ins.rs1, ins.rs2, 0, ins, reads)
+        if f3 == 0:
+            kind = _K_SUB if ins.funct7 & 0x20 else _K_ADD
+        elif f3 == 1:
+            kind = _K_SLL
+        elif f3 == 5:
+            kind = _K_SRA if ins.funct7 & 0x20 else _K_SRL
+        else:
+            kind = _ALU_REG_KINDS[f3]
+        return (kind, ins.rd, ins.rs1, ins.rs2, 0, ins, reads)
+    if op == isa.OPCODE_LUI:
+        return (_K_CONST, ins.rd, 0, ins.imm & _MASK32, 0, ins, reads)
+    if op == isa.OPCODE_AUIPC:
+        return (_K_CONST, ins.rd, 0, (pc + ins.imm) & _MASK32, 0, ins, reads)
+    if op == isa.OPCODE_JAL:
+        return (_K_JAL, ins.rd, (pc + 4) & _MASK32,
+                (pc + ins.imm) & _MASK32, 0, ins, reads)
+    if op == isa.OPCODE_JALR:
+        return (_K_JALR, ins.rd, ins.rs1, ins.imm, (pc + 4) & _MASK32,
+                ins, reads)
+    if op == isa.OPCODE_BRANCH:
+        kind = _BRANCH_KINDS.get(f3)
+        if kind is None:
+            return (_K_RAISE, 0, 0, "bad branch funct3", 0, ins, reads)
+        return (kind, ins.rs1, ins.rs2, (pc + ins.imm) & _MASK32,
+                ins.imm < 0, ins, reads)
+    if op == isa.OPCODE_LOAD:
+        kind = _LOAD_KINDS.get(f3)
+        if kind is None:
+            return (_K_RAISE, 0, 0, "bad load funct3", 0, ins, reads)
+        return (kind, ins.rd, ins.rs1, ins.imm, 0, ins, reads)
+    if op == isa.OPCODE_STORE:
+        kind = _STORE_KINDS.get(f3)
+        if kind is None:
+            return (_K_RAISE, 0, 0, "bad store funct3", 0, ins, reads)
+        return (kind, ins.rs1, ins.rs2, ins.imm, 0, ins, reads)
+    if op == OPCODE_CUSTOM0:
+        return (_K_CFU, ins.rd, ins.rs1, ins.rs2,
+                (ins.funct3, ins.funct7), ins, reads)
+    if op == isa.OPCODE_SYSTEM:
+        if ins.raw == 0x00100073:
+            return (_K_EBREAK, 0, 0, 0, 0, ins, reads)
+        if ins.raw == 0x00000073:
+            return (_K_ECALL, 0, 0, 0, 0, ins, reads)
+        if ins.funct3 in (1, 2, 3):
+            return (_K_CSR, ins.rd, 0, ins.imm & 0xFFF, 0, ins, reads)
+        return (_K_RAISE, 0, 0,
+                f"unsupported SYSTEM instruction 0x{ins.raw:08x}",
+                0, ins, reads)
+    if op == isa.OPCODE_MISC_MEM:
+        return (_K_FENCE, 0, 0, 0, 0, ins, reads)
+    return (_K_RAISE, 0, 0,
+            f"illegal instruction 0x{ins.raw:08x} at pc=0x{pc:08x}",
+            0, ins, reads)
+
+
 class Machine:
     """A single-hart RV32IM machine with optional CFU and timing model."""
 
@@ -98,10 +277,48 @@ class Machine:
         # Hazard tracking for the timing model.
         self._pending_rd = 0
         self._pending_is_load = False
+        # Decoded-instruction cache: pc -> specialized op tuple, plus a
+        # page index -> [pc] map for page-granular store invalidation.
+        self._decode_cache = {}
+        self._decode_pages = {}
+        self.decode_count = 0          # static decodes performed
+        self.invalidation_count = 0    # pages invalidated by stores/flushes
+
+    # --- decode cache ---------------------------------------------------------------
+    @property
+    def decode_cache_entries(self):
+        return len(self._decode_cache)
+
+    def flush_decode_cache(self):
+        """Drop every cached decode (e.g. after loading a new image)."""
+        if self._decode_pages:
+            self.invalidation_count += len(self._decode_pages)
+        self._decode_cache.clear()
+        self._decode_pages.clear()
+
+    def _invalidate_page(self, page):
+        cache = self._decode_cache
+        for pc in self._decode_pages.pop(page):
+            cache.pop(pc, None)
+        self.invalidation_count += 1
+
+    def _decode_pc(self, pc):
+        word = self.memory.read32(pc)
+        op = _specialize(pc, isa.decode(word))
+        self._decode_cache[pc] = op
+        pages = self._decode_pages
+        first = pc >> _PAGE_BITS
+        pages.setdefault(first, []).append(pc)
+        last = (pc + 3) >> _PAGE_BITS
+        if last != first:
+            pages.setdefault(last, []).append(pc)
+        self.decode_count += 1
+        return op
 
     # --- program loading -----------------------------------------------------------
     def load_program(self, code, addr=0):
         self.memory.load_bytes(addr, code)
+        self.flush_decode_cache()
         self.pc = addr
 
     def load_assembly(self, source, addr=0):
@@ -120,15 +337,363 @@ class Machine:
         return self.regs[index]
 
     # --- execution ------------------------------------------------------------------
-    def run(self, max_instructions=1_000_000):
-        """Execute until halt or the instruction budget is exhausted."""
-        executed = 0
-        while not self.halted and executed < max_instructions:
-            self.step()
-            executed += 1
-        if not self.halted and executed >= max_instructions:
+    def run(self, max_instructions=1_000_000, fast=True):
+        """Execute until halt or the instruction budget is exhausted.
+
+        ``fast=True`` (default) runs the decoded-instruction-cache
+        dispatch loop; ``fast=False`` runs the reference ``step()``
+        loop.  Both are architecturally identical (the differential
+        suite asserts it).  The budget counts executed instructions: a
+        program that halts *on* its ``max_instructions``-th instruction
+        completes normally; the budget error is raised only when the
+        machine is still running after the budget is spent.
+        """
+        if fast:
+            self._run_fast(max_instructions)
+        else:
+            executed = 0
+            while executed < max_instructions and not self.halted:
+                self.step()
+                executed += 1
+        if not self.halted:
             raise RuntimeError(f"instruction budget exhausted at pc=0x{self.pc:08x}")
         return self.exit_code
+
+    def _run_fast(self, max_instructions):
+        """The fast path: cached decode + pre-specialized dispatch with
+        hot state in locals.  Bit-identical to the ``step()`` loop,
+        timing model and CFU included."""
+        memory = self.memory
+        regs = self.regs
+        timing = self.timing
+        timed = timing is not None
+        cfu = self.cfu
+        cache = self._decode_cache
+        cache_get = cache.get
+        cache_pages = self._decode_pages
+        decode_pc = self._decode_pc
+        read8 = memory.read8
+        read16 = memory.read16
+        read32 = memory.read32
+        write8 = memory.write8
+        write16 = memory.write16
+        write32 = memory.write32
+        # Mirrors _check_align: alignment faults unless a timing model
+        # says the hardware error checking was removed.
+        check_align = not timed or timing.checks_alignment()
+        M = _MASK32
+        pc = self.pc
+        instret = self.instret
+        cycles = self.cycles
+        pending_rd = self._pending_rd
+        pending_is_load = self._pending_is_load
+        halted = self.halted
+        executed = 0
+        try:
+            while executed < max_instructions and not halted:
+                op = cache_get(pc)
+                if op is None:
+                    op = decode_pc(pc)
+                k = op[0]
+                if timed:
+                    cycles += timing.fetch(pc)
+                    if pending_rd and pending_rd in op[6]:
+                        cycles += timing.hazard_cycles(pending_is_load)
+                if k < 14:  # simple ALU + precomputed constants
+                    if k == _K_ADDI:
+                        v = regs[op[2]] + op[3]
+                    elif k == _K_ADD:
+                        v = regs[op[2]] + regs[op[3]]
+                    elif k == _K_ANDI:
+                        v = regs[op[2]] & op[3]
+                    elif k == _K_AND:
+                        v = regs[op[2]] & regs[op[3]]
+                    elif k == _K_ORI:
+                        v = regs[op[2]] | op[3]
+                    elif k == _K_OR:
+                        v = regs[op[2]] | regs[op[3]]
+                    elif k == _K_XORI:
+                        v = regs[op[2]] ^ op[3]
+                    elif k == _K_XOR:
+                        v = regs[op[2]] ^ regs[op[3]]
+                    elif k == _K_SUB:
+                        v = regs[op[2]] - regs[op[3]]
+                    elif k == _K_CONST:
+                        v = op[3]
+                    elif k == _K_SLTIU:
+                        v = 1 if regs[op[2]] < op[3] else 0
+                    elif k == _K_SLTU:
+                        v = 1 if regs[op[2]] < regs[op[3]] else 0
+                    elif k == _K_SLTI:
+                        r = regs[op[2]]
+                        v = 1 if (r - (1 << 32) if r & 0x80000000 else r) < op[3] else 0
+                    else:  # _K_SLT
+                        r = regs[op[2]]
+                        s = regs[op[3]]
+                        v = 1 if ((r - (1 << 32) if r & 0x80000000 else r)
+                                  < (s - (1 << 32) if s & 0x80000000 else s)) else 0
+                    rd = op[1]
+                    if rd:
+                        regs[rd] = v & M
+                    if timed:
+                        pending_rd = 0 if k == _K_CONST else rd
+                        pending_is_load = False
+                    cycles += 1
+                    pc += 4
+                    instret += 1
+                    executed += 1
+                    continue
+                if k < 37:  # shifts, mul/div, loads
+                    rd = op[1]
+                    if k < 20:  # shifts
+                        if k < 17:
+                            shamt = op[3]
+                        else:
+                            shamt = regs[op[3]] & 0x1F
+                        r = regs[op[2]]
+                        if k == _K_SLLI or k == _K_SLL:
+                            v = r << shamt
+                        elif k == _K_SRLI or k == _K_SRL:
+                            v = r >> shamt
+                        else:  # srai/sra
+                            v = (r - (1 << 32) if r & 0x80000000 else r) >> shamt
+                        if rd:
+                            regs[rd] = v & M
+                        if timed:
+                            cycles += timing.shift_cycles(shamt)
+                            pending_rd = rd
+                            pending_is_load = False
+                        else:
+                            cycles += 1
+                    elif k < 32:  # mul/div
+                        v = _muldiv_kind(k, regs[op[2]], regs[op[3]])
+                        if rd:
+                            regs[rd] = v & M
+                        if timed:
+                            cycles += (timing.mul_cycles() if k < 24
+                                       else timing.div_cycles())
+                            pending_rd = rd
+                            pending_is_load = False
+                        else:
+                            cycles += 1
+                    else:  # loads
+                        addr = (regs[op[2]] + op[3]) & M
+                        if k == _K_LW:
+                            if check_align and addr & 3:
+                                raise MemoryAccessError(
+                                    f"misaligned 4-byte access at 0x{addr:08x}"
+                                    f" (pc=0x{pc:08x})")
+                            v = read32(addr)
+                        elif k == _K_LBU:
+                            v = read8(addr)
+                        elif k == _K_LB:
+                            v = read8(addr)
+                            if v & 0x80:
+                                v -= 256
+                        elif k == _K_LHU:
+                            if check_align and addr & 1:
+                                raise MemoryAccessError(
+                                    f"misaligned 2-byte access at 0x{addr:08x}"
+                                    f" (pc=0x{pc:08x})")
+                            v = read16(addr)
+                        else:  # _K_LH
+                            if check_align and addr & 1:
+                                raise MemoryAccessError(
+                                    f"misaligned 2-byte access at 0x{addr:08x}"
+                                    f" (pc=0x{pc:08x})")
+                            v = read16(addr)
+                            if v & 0x8000:
+                                v -= 65536
+                        if rd:
+                            regs[rd] = v & M
+                        if timed:
+                            cycles += timing.load_cycles(addr)
+                            pending_rd = rd
+                            pending_is_load = True
+                        else:
+                            cycles += 1
+                    pc += 4
+                    instret += 1
+                    executed += 1
+                    continue
+                if k < 64:  # stores
+                    addr = (regs[op[1]] + op[3]) & M
+                    v = regs[op[2]]
+                    if k == _K_SW:
+                        if check_align and addr & 3:
+                            raise MemoryAccessError(
+                                f"misaligned 4-byte access at 0x{addr:08x}"
+                                f" (pc=0x{pc:08x})")
+                        write32(addr, v)
+                        span = 3
+                    elif k == _K_SB:
+                        write8(addr, v)
+                        span = 0
+                    else:  # _K_SH
+                        if check_align and addr & 1:
+                            raise MemoryAccessError(
+                                f"misaligned 2-byte access at 0x{addr:08x}"
+                                f" (pc=0x{pc:08x})")
+                        write16(addr, v)
+                        span = 1
+                    page = addr >> _PAGE_BITS
+                    if page in cache_pages:
+                        self._invalidate_page(page)
+                    last = (addr + span) >> _PAGE_BITS
+                    if last != page and last in cache_pages:
+                        self._invalidate_page(last)
+                    if timed:
+                        cycles += timing.store_cycles(addr)
+                        pending_rd = 0
+                        pending_is_load = False
+                    else:
+                        cycles += 1
+                    pc += 4
+                    instret += 1
+                    executed += 1
+                    continue
+                if k < 80:  # branches
+                    a = regs[op[1]]
+                    b = regs[op[2]]
+                    if k == _K_BNE:
+                        taken = a != b
+                    elif k == _K_BEQ:
+                        taken = a == b
+                    elif k == _K_BLTU:
+                        taken = a < b
+                    elif k == _K_BGEU:
+                        taken = a >= b
+                    else:
+                        sa = a - (1 << 32) if a & 0x80000000 else a
+                        sb = b - (1 << 32) if b & 0x80000000 else b
+                        taken = sa < sb if k == _K_BLT else sa >= sb
+                    if timed:
+                        cycles += 1 + timing.branch_penalty(pc, taken, op[4])
+                        pending_rd = 0
+                        pending_is_load = False
+                    else:
+                        cycles += 1
+                    pc = op[3] if taken else pc + 4
+                    instret += 1
+                    executed += 1
+                    continue
+                if k == _K_JAL:
+                    rd = op[1]
+                    if rd:
+                        regs[rd] = op[2]
+                    if timed:
+                        cycles += 1 + timing.jump_penalty(direct=True)
+                        pending_rd = 0
+                        pending_is_load = False
+                    else:
+                        cycles += 1
+                    pc = op[3]
+                    instret += 1
+                    executed += 1
+                    continue
+                if k == _K_JALR:
+                    target = (regs[op[2]] + op[3]) & ~1 & M
+                    rd = op[1]
+                    if rd:
+                        regs[rd] = op[4]
+                    if timed:
+                        cycles += 1 + timing.jump_penalty(direct=False)
+                        pending_rd = 0
+                        pending_is_load = False
+                    else:
+                        cycles += 1
+                    pc = target
+                    instret += 1
+                    executed += 1
+                    continue
+                if k == _K_CFU:
+                    if cfu is None:
+                        raise RuntimeError(
+                            f"CFU instruction at pc=0x{pc:08x} but no CFU attached"
+                        )
+                    f3, f7 = op[4]
+                    result, latency = cfu.execute(f3, f7, regs[op[2]], regs[op[3]])
+                    rd = op[1]
+                    if rd:
+                        regs[rd] = result & M
+                    if timed:
+                        cycles += 1 + max(0, latency - 1)
+                        pending_rd = rd
+                        pending_is_load = False
+                    else:
+                        cycles += 1
+                    pc += 4
+                    instret += 1
+                    executed += 1
+                    continue
+                if k == _K_EBREAK:
+                    self.halted = True
+                    halted = True
+                    if timed:
+                        pending_rd = 0
+                        pending_is_load = False
+                    cycles += 1
+                    instret += 1
+                    executed += 1
+                    continue
+                if k == _K_ECALL:
+                    # The handler may inspect machine state: sync first.
+                    self.pc = pc
+                    self.instret = instret
+                    self.cycles = cycles
+                    self._pending_rd = pending_rd
+                    self._pending_is_load = pending_is_load
+                    pc = self.ecall_handler(pc + 4)
+                    halted = self.halted
+                    if timed:
+                        pending_rd = 0
+                        pending_is_load = False
+                    cycles += 1
+                    instret += 1
+                    executed += 1
+                    continue
+                if k == _K_CSR:
+                    csr = op[3]
+                    if csr == 0xB00 or csr == 0xC00:
+                        v = cycles
+                    elif csr == 0xC02 or csr == 0xB02:
+                        v = instret
+                    else:
+                        v = 0
+                    rd = op[1]
+                    if rd:
+                        regs[rd] = v & M
+                    if timed:
+                        pending_rd = 0
+                        pending_is_load = False
+                    cycles += 1
+                    pc += 4
+                    instret += 1
+                    executed += 1
+                    continue
+                if k == _K_FENCE:
+                    if timed:
+                        pending_rd = 0
+                        pending_is_load = False
+                    cycles += 1
+                    pc += 4
+                    instret += 1
+                    executed += 1
+                    continue
+                raise RuntimeError(op[3])  # _K_RAISE
+        except BaseException:
+            # step() clears the hazard bookkeeping before dispatch, so a
+            # faulting instruction leaves no pending writeback behind.
+            pending_rd = 0
+            pending_is_load = False
+            raise
+        finally:
+            self.pc = pc
+            self.instret = instret
+            self.cycles = cycles
+            self._pending_rd = pending_rd
+            self._pending_is_load = pending_is_load
+        return executed
 
     def step(self):
         if self.halted:
@@ -338,14 +903,23 @@ class Machine:
         f3 = ins.funct3
         if f3 == 0:
             self.memory.write8(addr, rs2)
+            span = 0
         elif f3 == 1:
             self._check_align(addr, 2)
             self.memory.write16(addr, rs2)
+            span = 1
         elif f3 == 2:
             self._check_align(addr, 4)
             self.memory.write32(addr, rs2)
+            span = 3
         else:
             raise RuntimeError("bad store funct3")
+        page = addr >> _PAGE_BITS
+        if page in self._decode_pages:
+            self._invalidate_page(page)
+        last = (addr + span) >> _PAGE_BITS
+        if last != page and last in self._decode_pages:
+            self._invalidate_page(last)
         if self.timing is not None:
             return self.timing.store_cycles(addr) - 1
         return 0

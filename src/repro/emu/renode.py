@@ -11,6 +11,8 @@ the swap the paper uses for debugging.
 
 from __future__ import annotations
 
+import time
+
 from ..cfu.interface import CfuModel
 from ..cfu.rtl import RtlCfu, RtlCfuAdapter
 from ..cpu.assembler import assemble
@@ -22,7 +24,7 @@ from ..soc.soc import Soc
 class Emulator:
     """A SoC + CPU + optional CFU, ready to run programs."""
 
-    def __init__(self, soc, cfu=None, with_timing=True):
+    def __init__(self, soc, cfu=None, with_timing=True, tracer=None):
         if not isinstance(soc, Soc):
             raise TypeError("Emulator requires a Soc")
         self.soc = soc
@@ -32,6 +34,7 @@ class Emulator:
         if cfu is not None and not isinstance(cfu, (CfuModel, RtlCfuAdapter)):
             raise TypeError("cfu must be a CfuModel or RtlCfu(-Adapter)")
         self.cfu = cfu
+        self.tracer = tracer
         timing = (VexTiming(soc.cpu_config, soc.memory_map)
                   if with_timing else None)
         self.machine = Machine(memory=self.bus, cfu=cfu, timing=timing)
@@ -40,6 +43,8 @@ class Emulator:
     def load_binary(self, blob, region="sram", offset=0):
         base = self.soc.memory_map.get(region).base + offset
         self.bus.load_bytes(base, blob)
+        # Loading bypasses the store path, so drop any stale decodes.
+        self.machine.flush_decode_cache()
         self.machine.pc = base
         return base
 
@@ -47,12 +52,33 @@ class Emulator:
         base = self.soc.memory_map.get(region).base + offset
         code, symbols = assemble(source, origin=base)
         self.bus.load_bytes(base, code)
+        self.machine.flush_decode_cache()
         self.machine.pc = base
         return symbols
 
     # --- execution ---------------------------------------------------------------
-    def run(self, max_instructions=5_000_000):
-        return self.machine.run(max_instructions)
+    def run(self, max_instructions=5_000_000, fast=True):
+        machine = self.machine
+        if self.tracer is None:
+            return machine.run(max_instructions, fast=fast)
+        instret0 = machine.instret
+        invalidations0 = machine.invalidation_count
+        with self.tracer.span("sim_run", fast=fast) as span:
+            start = time.perf_counter()
+            try:
+                return machine.run(max_instructions, fast=fast)
+            finally:
+                elapsed = time.perf_counter() - start
+                instructions = machine.instret - instret0
+                span.attrs["instructions"] = instructions
+                span.attrs["cycles"] = machine.cycles
+                span.attrs["instructions_per_second"] = (
+                    round(instructions / elapsed) if elapsed > 0 else None)
+                span.attrs["decode_cache_entries"] = (
+                    machine.decode_cache_entries)
+                span.attrs["cache_invalidations"] = (
+                    machine.invalidation_count - invalidations0)
+                self.tracer.count("sim_instructions", instructions)
 
     @property
     def cycles(self):

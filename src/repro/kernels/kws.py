@@ -172,18 +172,25 @@ def depthwise_via_cfu(op, inputs, model, cfu=None):
         op32(km.F3_CONFIG, km.CFG_MULT, params["out_multipliers"][channel])
         op32(km.F3_CONFIG, km.CFG_SHIFT, params["out_shifts"][channel])
         op32(km.F3_CONFIG, km.CFG_OUTPUT, out_tensor.quant.zero_point, clamps)
+        # Hoist the operands into plain Python lists so the tap loop
+        # issues custom instructions without per-element numpy indexing.
+        channel_weights = weights[:, :, channel].tolist()  # (KH, KW) ints
+        channel_bias = int(folded_bias[channel])
         for b_i in range(data.shape[0]):
+            plane = padded[b_i, :, :, channel].tolist()    # rows of ints
             for y in range(oh):
+                base_y = y * stride[0]
                 for x in range(ow):
+                    base_x = x * stride[1]
                     first = True
                     for ky in range(kh):
+                        row = plane[base_y + ky]
+                        wrow = channel_weights[ky]
                         for kx in range(kw):
-                            iv = int(padded[b_i, y * stride[0] + ky,
-                                            x * stride[1] + kx, channel])
-                            wv = int(weights[ky, kx, channel])
-                            op32(km.F3_MAC1, 1 if first else 0, iv, wv)
+                            op32(km.F3_MAC1, 1 if first else 0,
+                                 row[base_x + kx], wrow[kx])
                             first = False
-                    byte = op32(km.F3_POSTPROC, 0, 0, folded_bias[channel])
+                    byte = op32(km.F3_POSTPROC, 0, 0, channel_bias)
                     output[b_i, y, x, channel] = (
                         byte - 256 if byte & 0x80 else byte
                     )

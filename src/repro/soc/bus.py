@@ -27,8 +27,19 @@ class RamBacking:
         self.data[offset:offset + len(blob)] = blob
 
 
+_PAGE_BITS = 12
+
+
 class SocBus:
-    """Decodes addresses to RAM backings or the CSR bank."""
+    """Decodes addresses to RAM backings or the CSR bank.
+
+    Address decode is cached per 4 KiB page: pages that lie entirely
+    inside one RAM region resolve to ``(backing, region_base)`` through
+    a dict lookup instead of a linear region scan plus CSR-range check
+    on every access.  Pages overlapping the CSR window or a region
+    boundary are never cached and always take the full decode path, so
+    peripheral side effects and bus errors behave exactly as before.
+    """
 
     def __init__(self, memory_map, csr_bank=None, rom_regions=()):
         self.memory_map = memory_map
@@ -37,6 +48,18 @@ class SocBus:
             region.name: RamBacking(region, writable=region.name not in rom_regions)
             for region in memory_map
         }
+        self._page_cache = {}
+        if csr_bank is None:
+            self._csr_window = None
+        else:
+            # Registers may still be added to the bank after the bus is
+            # built, so treat the whole region holding the bank (or a
+            # generous window past its base) as uncacheable.
+            try:
+                region = memory_map.find(csr_bank.base)
+                self._csr_window = (region.base, region.end)
+            except KeyError:
+                self._csr_window = (csr_bank.base, csr_bank.base + (1 << 20))
 
     def backing(self, name):
         return self.backings[name]
@@ -49,8 +72,30 @@ class SocBus:
         region = self.memory_map.find(addr)
         return self.backings[region.name], addr - region.base
 
+    def _resolve_page(self, addr):
+        """Cache and return ``(backing, base)`` for addr's page, or None
+        when the page must use the slow path."""
+        page = addr >> _PAGE_BITS
+        lo = page << _PAGE_BITS
+        hi = lo + (1 << _PAGE_BITS)
+        if self._csr_window is not None:
+            csr_lo, csr_hi = self._csr_window
+            if lo < csr_hi and csr_lo < hi:
+                return None
+        region = self.memory_map.find(addr)
+        if region.base <= lo and hi <= region.end:
+            entry = (self.backings[region.name], region.base)
+            self._page_cache[page] = entry
+            return entry
+        return None
+
     # --- byte/halfword/word protocol ------------------------------------------------
     def read8(self, addr):
+        entry = (self._page_cache.get(addr >> _PAGE_BITS)
+                 or self._resolve_page(addr))
+        if entry is not None:
+            backing, base = entry
+            return backing.data[addr - base]
         if self.csr_bank is not None and self.csr_bank.contains(addr):
             word = self.csr_bank.read32(addr & ~3)
             return (word >> (8 * (addr & 3))) & 0xFF
@@ -58,6 +103,14 @@ class SocBus:
         return backing.data[offset]
 
     def write8(self, addr, value):
+        entry = (self._page_cache.get(addr >> _PAGE_BITS)
+                 or self._resolve_page(addr))
+        if entry is not None:
+            backing, base = entry
+            if not backing.writable:
+                raise BusError(f"write to read-only region at 0x{addr:08x}")
+            backing.data[addr - base] = value & 0xFF
+            return
         if self.csr_bank is not None and self.csr_bank.contains(addr):
             self.csr_bank.write32(addr & ~3, value & 0xFF)
             return
@@ -74,6 +127,15 @@ class SocBus:
         self.write8(addr + 1, value >> 8)
 
     def read32(self, addr):
+        entry = (self._page_cache.get(addr >> _PAGE_BITS)
+                 or self._resolve_page(addr))
+        if entry is not None:
+            backing, base = entry
+            offset = addr - base
+            data = backing.data
+            if offset + 4 <= len(data):
+                return int.from_bytes(data[offset:offset + 4], "little")
+            return self.read16(addr) | self.read16(addr + 2) << 16
         if self.csr_bank is not None and self.csr_bank.contains(addr):
             return self.csr_bank.read32(addr & ~3)
         backing, offset = self._locate(addr)
@@ -82,6 +144,20 @@ class SocBus:
         return self.read16(addr) | self.read16(addr + 2) << 16
 
     def write32(self, addr, value):
+        entry = (self._page_cache.get(addr >> _PAGE_BITS)
+                 or self._resolve_page(addr))
+        if entry is not None:
+            backing, base = entry
+            if not backing.writable:
+                raise BusError(f"write to read-only region at 0x{addr:08x}")
+            offset = addr - base
+            data = backing.data
+            if offset + 4 <= len(data):
+                data[offset:offset + 4] = (value & 0xFFFFFFFF).to_bytes(4, "little")
+            else:
+                self.write16(addr, value)
+                self.write16(addr + 2, value >> 16)
+            return
         if self.csr_bank is not None and self.csr_bank.contains(addr):
             self.csr_bank.write32(addr & ~3, value & 0xFFFFFFFF)
             return

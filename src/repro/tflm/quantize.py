@@ -48,9 +48,14 @@ def saturating_rounding_doubling_high_mul(a, b):
 
 
 def rounding_divide_by_pot(x, exponent):
-    """gemmlowp RoundingDivideByPOT (round half away from zero)."""
+    """gemmlowp RoundingDivideByPOT (round half away from zero).
+
+    ``exponent`` may be a scalar or an array broadcast against ``x``
+    (an exponent of 0 falls out of the mask arithmetic as identity).
+    """
     x = np.asarray(x, dtype=np.int64)
-    if exponent == 0:
+    exponent = np.asarray(exponent, dtype=np.int64)
+    if exponent.ndim == 0 and int(exponent) == 0:
         return x
     mask = (np.int64(1) << exponent) - 1
     remainder = x & mask
@@ -59,9 +64,15 @@ def rounding_divide_by_pot(x, exponent):
 
 
 def multiply_by_quantized_multiplier(x, quantized_multiplier, shift):
-    """TFLM MultiplyByQuantizedMultiplier: x * multiplier * 2^shift."""
-    left_shift = max(shift, 0)
-    right_shift = max(-shift, 0)
+    """TFLM MultiplyByQuantizedMultiplier: x * multiplier * 2^shift.
+
+    All three arguments may be scalars or mutually-broadcastable arrays
+    (e.g. per-channel multiplier/shift against ``(..., channels)``
+    accumulators).
+    """
+    shift = np.asarray(shift, dtype=np.int64)
+    left_shift = np.where(shift > 0, shift, 0)
+    right_shift = np.where(shift < 0, -shift, 0)
     shifted = np.asarray(x, dtype=np.int64) << left_shift
     high = saturating_rounding_doubling_high_mul(shifted, quantized_multiplier)
     return rounding_divide_by_pot(high, right_shift)
@@ -103,14 +114,9 @@ def requantize(acc, multiplier, shift, output_zero_point,
     acc = np.asarray(acc, dtype=np.int64)
     multiplier = np.asarray(multiplier, dtype=np.int64)
     shift = np.asarray(shift, dtype=np.int64)
-    if multiplier.ndim == 0:
-        scaled = multiply_by_quantized_multiplier(acc, int(multiplier), int(shift))
-    else:
-        scaled = np.empty_like(acc)
-        for channel in range(multiplier.shape[0]):
-            scaled[..., channel] = multiply_by_quantized_multiplier(
-                acc[..., channel], int(multiplier[channel]), int(shift[channel])
-            )
+    # Per-channel multiplier/shift broadcast over the last axis of acc;
+    # scalars broadcast over everything.  One vectorized pass either way.
+    scaled = multiply_by_quantized_multiplier(acc, multiplier, shift)
     out = scaled + output_zero_point
     return np.clip(out, activation_min, activation_max).astype(np.int8)
 

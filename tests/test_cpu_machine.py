@@ -209,3 +209,135 @@ def test_illegal_instruction_raises():
     machine.memory.write32(0, 0xFFFFFFFF)
     with pytest.raises(RuntimeError):
         machine.step()
+
+
+# --- instruction budget boundary ---------------------------------------------------
+
+EXIT_IN_3 = """
+    li a7, 93
+    ecall
+"""  # li expands to 2 instructions; ecall halts on the 3rd
+
+
+@pytest.mark.parametrize("fast", [True, False], ids=["fast", "reference"])
+def test_halting_exactly_at_budget_succeeds(fast):
+    """A program whose final permitted instruction halts cleanly must
+    not raise 'instruction budget exhausted'."""
+    machine = Machine()
+    machine.load_assembly(EXIT_IN_3)
+    machine.run(max_instructions=3, fast=fast)
+    assert machine.halted
+    assert machine.instret == 3
+
+
+@pytest.mark.parametrize("fast", [True, False], ids=["fast", "reference"])
+def test_budget_one_short_of_halt_raises(fast):
+    machine = Machine()
+    machine.load_assembly(EXIT_IN_3)
+    with pytest.raises(RuntimeError, match="instruction budget exhausted"):
+        machine.run(max_instructions=2, fast=fast)
+    assert not machine.halted
+    assert machine.instret == 2
+
+
+@pytest.mark.parametrize("fast", [True, False], ids=["fast", "reference"])
+def test_ebreak_exactly_at_budget_succeeds(fast):
+    machine = Machine()
+    machine.load_assembly("""
+        addi a0, a0, 1
+        ebreak
+    """)
+    machine.run(max_instructions=2, fast=fast)
+    assert machine.halted
+
+
+def test_budget_enforced_on_fast_path():
+    machine = Machine()
+    machine.load_assembly("""
+    spin:
+        j spin
+    """)
+    with pytest.raises(RuntimeError, match="instruction budget exhausted"):
+        machine.run(max_instructions=100, fast=True)
+    assert machine.instret == 100
+
+
+# --- decoded-instruction cache -----------------------------------------------------
+
+def test_decode_cache_decodes_each_static_instruction_once():
+    machine = Machine()
+    machine.load_assembly("""
+        li t0, 1000
+    loop:
+        addi t0, t0, -1
+        bnez t0, loop
+        li a7, 93
+        ecall
+    """)
+    machine.run()
+    # 2 (li) + 2 (loop) + 2 (li) + 1 (ecall) static instructions, far
+    # fewer decodes than the ~2000 dynamic loop instructions.
+    assert machine.decode_count == 7
+    assert machine.decode_cache_entries == 7
+    assert machine.instret > 2000
+
+
+def test_store_to_code_page_invalidates_decode_cache():
+    machine = Machine()
+    machine.load_assembly("""
+        li t0, 0x2000
+        sw t1, 0(t0)      # data page: no code cached there
+        sw t1, 4(t0)
+        li a7, 93
+        ecall
+    """)
+    machine.run()
+    data_only_invalidations = machine.invalidation_count
+    assert data_only_invalidations == 0
+
+    machine = Machine()
+    machine.load_assembly("""
+        la t0, target
+        lw t2, 0(t0)      # read the word at 'target'
+        sw t2, 0(t0)      # rewrite it unchanged: still must invalidate
+    target:
+        li a7, 93
+        ecall
+    """)
+    machine.run()
+    assert machine.halted
+    assert machine.invalidation_count >= 1
+
+
+def test_load_program_flushes_decode_cache():
+    machine = Machine()
+    machine.load_assembly(EXIT_IN_3)
+    machine.run()
+    assert machine.decode_cache_entries > 0
+    machine.halted = False
+    machine.exit_code = None
+    machine.load_assembly("""
+        addi a0, a0, 5
+        ebreak
+    """)
+    assert machine.decode_cache_entries == 0
+    machine.run()
+    assert machine.regs[10] & 0xFF == 5
+
+
+# --- bulk sparse-memory operations -------------------------------------------------
+
+def test_bulk_load_and_read_bytes_across_pages():
+    memory = SparseMemory()
+    blob = bytes(range(256)) * 40  # 10,240 bytes: spans three pages
+    memory.load_bytes(0x0F80, blob)
+    assert memory.read_bytes(0x0F80, len(blob)) == blob
+    # Byte-level view agrees with the bulk view.
+    assert memory.read8(0x0F80) == blob[0]
+    assert memory.read8(0x0F80 + len(blob) - 1) == blob[-1]
+
+
+def test_load_bytes_accepts_non_bytes_iterables():
+    memory = SparseMemory()
+    memory.load_bytes(0x100, [1, 2, 3, 0xFF])
+    assert memory.read_bytes(0x100, 4) == b"\x01\x02\x03\xff"

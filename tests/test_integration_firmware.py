@@ -51,6 +51,37 @@ def firmware(data_base, uart_addr):
     """
 
 
+def postproc_firmware(mult, shift, zp, bias):
+    """Requantization firmware: configure the CFU2 post-processing unit,
+    build the accumulator 98,765 from MAC1 byte products, then POSTPROC."""
+    return f"""
+        li a1, {mult}
+        cfu {km.CFG_MULT}, {km.F3_CONFIG}, a0, a1, x0
+        li a1, {shift & 0xFFFFFFFF}
+        cfu {km.CFG_SHIFT}, {km.F3_CONFIG}, a0, a1, x0
+        li a1, {zp & 0xFFFFFFFF}
+        li a2, {0x80 | (0x7F << 8)}
+        cfu {km.CFG_OUTPUT}, {km.F3_CONFIG}, a0, a1, a2
+        li a1, 127
+        li a2, 127
+        li t0, 6
+        cfu 1, {km.F3_MAC1}, a0, x0, x0    # acc = 0
+    square_loop:
+        cfu 0, {km.F3_MAC1}, a0, a1, a2    # acc += 127*127
+        addi t0, t0, -1
+        bnez t0, square_loop
+        li a2, 15
+        cfu 0, {km.F3_MAC1}, a0, a1, a2    # acc += 127*15
+        li a1, 86
+        li a2, 1
+        cfu 0, {km.F3_MAC1}, a0, a1, a2    # acc += 86
+        li a2, {bias}
+        cfu 0, {km.F3_POSTPROC}, a0, x0, a2
+        li a7, 93
+        ecall
+    """
+
+
 def make_vectors(seed):
     rng = np.random.default_rng(seed)
     a = rng.integers(-128, 128, size=N).astype(np.int8)
@@ -132,32 +163,8 @@ def test_post_processing_firmware():
     acc = 6 * 127 * 127 + 127 * 15 + 86  # = 98,765
     soc = Soc(ARTY_A7_35T, ARTY_DEFAULT)
     emu = Emulator(soc, cfu=KwsCfu2Rtl())
-    emu.load_assembly(f"""
-        li a1, {mult}
-        cfu {km.CFG_MULT}, {km.F3_CONFIG}, a0, a1, x0
-        li a1, {shift & 0xFFFFFFFF}
-        cfu {km.CFG_SHIFT}, {km.F3_CONFIG}, a0, a1, x0
-        li a1, {zp & 0xFFFFFFFF}
-        li a2, {0x80 | (0x7F << 8)}
-        cfu {km.CFG_OUTPUT}, {km.F3_CONFIG}, a0, a1, a2
-        li a1, 127
-        li a2, 127
-        li t0, 6
-        cfu 1, {km.F3_MAC1}, a0, x0, x0    # acc = 0
-    square_loop:
-        cfu 0, {km.F3_MAC1}, a0, a1, a2    # acc += 127*127
-        addi t0, t0, -1
-        bnez t0, square_loop
-        li a2, 15
-        cfu 0, {km.F3_MAC1}, a0, a1, a2    # acc += 127*15
-        li a1, 86
-        li a2, 1
-        cfu 0, {km.F3_MAC1}, a0, a1, a2    # acc += 86
-        li a2, {bias}
-        cfu 0, {km.F3_POSTPROC}, a0, x0, a2
-        li a7, 93
-        ecall
-    """, region="main_ram")
+    emu.load_assembly(postproc_firmware(mult, shift, zp, bias),
+                      region="main_ram")
     got = emu.run()
     expected = int(multiply_by_quantized_multiplier(acc + bias, mult, shift))
     expected = max(-128, min(127, expected + zp)) & 0xFF

@@ -1,0 +1,299 @@
+"""Differential equivalence: fast path vs the reference ``step()`` loop.
+
+The fast path (decoded-instruction cache + pre-specialized dispatch,
+``Machine.run(fast=True)``) must be architecturally bit-identical to
+the reference interpreter (``Machine.step`` driven by
+``run(fast=False)``): same ``regs``, ``pc``, ``instret``, ``cycles``,
+memory contents, halt state, and exit code — with and without a timing
+model, with and without a CFU attached.  Every firmware image from
+``tests.test_integration_firmware`` and a randomized RV32IM corpus run
+through both paths here.
+"""
+
+import numpy as np
+import pytest
+
+from repro.accel import KwsCfu, KwsCfu2Rtl
+from repro.boards import ARTY_A7_35T
+from repro.cpu import Machine, SparseMemory, VexTiming
+from repro.cpu.vexriscv import ARTY_DEFAULT, FOMU_MINIMAL
+from repro.emu import Emulator
+from repro.soc import Soc
+
+from tests.test_integration_firmware import (
+    N,
+    firmware,
+    make_vectors,
+    postproc_firmware,
+)
+
+
+# --- state comparison -------------------------------------------------------------
+
+def machine_state(machine):
+    """Architectural state minus memory (memory is compared in place —
+    SoC RAM backings are hundreds of MB, copying them dominates)."""
+    return {
+        "regs": list(machine.regs),
+        "pc": machine.pc,
+        "instret": machine.instret,
+        "cycles": machine.cycles,
+        "halted": machine.halted,
+        "exit_code": machine.exit_code,
+    }
+
+
+def assert_same_memory(fast_memory, slow_memory):
+    if isinstance(fast_memory, SparseMemory):
+        fast_pages, slow_pages = fast_memory._pages, slow_memory._pages
+        # A page of zeroes equals an untouched (absent) page.
+        zero = bytes(4096)
+        for index in fast_pages.keys() | slow_pages.keys():
+            assert (bytes(fast_pages.get(index, zero))
+                    == bytes(slow_pages.get(index, zero))), (
+                f"memory mismatch in page {index:#x}")
+        return
+    for name, backing in fast_memory.backings.items():
+        assert backing.data == slow_memory.backings[name].data, (
+            f"memory mismatch in region {name}")
+
+
+def assert_identical(fast_machine, slow_machine):
+    fast_state = machine_state(fast_machine)
+    slow_state = machine_state(slow_machine)
+    for key in fast_state:
+        assert fast_state[key] == slow_state[key], (
+            f"fast/slow mismatch on {key}: "
+            f"{fast_state[key]!r} != {slow_state[key]!r}")
+    assert_same_memory(fast_machine.memory, slow_machine.memory)
+
+
+# --- randomized RV32IM corpus ------------------------------------------------------
+
+DATA_BASE = 0x2000  # x5 is pinned here; all load/store offsets are in-page
+
+ALU_RR = ["add", "sub", "and", "or", "xor", "sll", "srl", "sra",
+          "slt", "sltu", "mul", "mulh", "mulhsu", "mulhu",
+          "div", "divu", "rem", "remu"]
+ALU_RI = ["addi", "andi", "ori", "xori", "slti", "sltiu"]
+SHIFT_RI = ["slli", "srli", "srai"]
+LOADS = [("lw", 4), ("lh", 2), ("lhu", 2), ("lb", 1), ("lbu", 1)]
+STORES = [("sw", 4), ("sh", 2), ("sb", 1)]
+BRANCHES = ["beq", "bne", "blt", "bge", "bltu", "bgeu"]
+
+
+def random_program(seed, length=300, with_cfu=False):
+    """A random straight-line-ish RV32IM program: ALU/mul/div traffic,
+    aligned loads/stores through x5, forward skip branches and jumps,
+    CSR reads, optional CFU MAC4 ops; exits cleanly via ecall."""
+    rng = np.random.default_rng(seed)
+
+    def reg(exclude_x5=True):
+        while True:
+            r = int(rng.integers(0, 32))
+            if not (exclude_x5 and r == 5):
+                return r
+
+    lines = [f"    li x5, {DATA_BASE}"]
+    for r in range(6, 16):  # seed some registers with random values
+        lines.append(f"    li x{r}, {int(rng.integers(0, 1 << 32))}")
+
+    label = 0
+    choices = ["alu_rr", "alu_ri", "shift", "lui", "auipc", "load",
+               "store", "branch", "jal", "csr"]
+    weights = [0.25, 0.20, 0.08, 0.04, 0.04, 0.12, 0.12, 0.08, 0.04, 0.03]
+    if with_cfu:
+        choices.append("cfu")
+        weights = [w * 0.92 for w in weights] + [0.08]
+    for _ in range(length):
+        kind = rng.choice(choices, p=np.array(weights) / np.sum(weights))
+        if kind == "alu_rr":
+            op = ALU_RR[int(rng.integers(0, len(ALU_RR)))]
+            lines.append(f"    {op} x{reg()}, x{reg(False)}, x{reg(False)}")
+        elif kind == "alu_ri":
+            op = ALU_RI[int(rng.integers(0, len(ALU_RI)))]
+            imm = int(rng.integers(-2048, 2048))
+            lines.append(f"    {op} x{reg()}, x{reg(False)}, {imm}")
+        elif kind == "shift":
+            op = SHIFT_RI[int(rng.integers(0, len(SHIFT_RI)))]
+            lines.append(f"    {op} x{reg()}, x{reg(False)}, "
+                         f"{int(rng.integers(0, 32))}")
+        elif kind == "lui":
+            lines.append(f"    lui x{reg()}, {int(rng.integers(0, 1 << 20))}")
+        elif kind == "auipc":
+            lines.append(f"    auipc x{reg()}, "
+                         f"{int(rng.integers(0, 1 << 20))}")
+        elif kind == "load":
+            op, align = LOADS[int(rng.integers(0, len(LOADS)))]
+            offset = int(rng.integers(0, 256 // align)) * align
+            lines.append(f"    {op} x{reg()}, {offset}(x5)")
+        elif kind == "store":
+            op, align = STORES[int(rng.integers(0, len(STORES)))]
+            offset = int(rng.integers(0, 256 // align)) * align
+            lines.append(f"    {op} x{reg(False)}, {offset}(x5)")
+        elif kind == "branch":
+            op = BRANCHES[int(rng.integers(0, len(BRANCHES)))]
+            lines.append(f"    {op} x{reg(False)}, x{reg(False)}, skip{label}")
+            lines.append(f"    addi x{reg()}, x{reg(False)}, 1")
+            lines.append(f"skip{label}:")
+            label += 1
+        elif kind == "jal":
+            lines.append(f"    jal x{reg()}, skip{label}")
+            lines.append(f"    addi x{reg()}, x{reg(False)}, 1")
+            lines.append(f"skip{label}:")
+            label += 1
+        elif kind == "csr":
+            mnemonic = "rdcycle" if rng.integers(0, 2) else "rdinstret"
+            lines.append(f"    {mnemonic} x{reg()}")
+        else:  # cfu
+            from repro.accel.kws import model as km
+
+            f3 = int(rng.choice([km.F3_MAC4, km.F3_READ_ACC]))
+            lines.append(f"    cfu 0, {f3}, x{reg()}, x{reg(False)}, "
+                         f"x{reg(False)}")
+    lines += ["    li a7, 93", "    li a0, 0", "    ecall"]
+    return "\n".join(lines)
+
+
+def run_corpus(source, timing_config, with_cfu, fast):
+    machine = Machine(
+        cfu=KwsCfu() if with_cfu else None,
+        timing=VexTiming(timing_config) if timing_config else None)
+    machine.load_assembly(source)
+    machine.run(max_instructions=100_000, fast=fast)
+    return machine
+
+
+@pytest.mark.parametrize("timing_config", [None, ARTY_DEFAULT, FOMU_MINIMAL],
+                         ids=["functional", "arty", "fomu"])
+@pytest.mark.parametrize("seed", range(6))
+def test_random_corpus_differential(seed, timing_config):
+    source = random_program(seed)
+    fast = run_corpus(source, timing_config, with_cfu=False, fast=True)
+    slow = run_corpus(source, timing_config, with_cfu=False, fast=False)
+    assert fast.halted and slow.halted
+    assert_identical(fast, slow)
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_random_corpus_with_cfu_differential(seed):
+    source = random_program(seed + 100, with_cfu=True)
+    fast = run_corpus(source, ARTY_DEFAULT, with_cfu=True, fast=True)
+    slow = run_corpus(source, ARTY_DEFAULT, with_cfu=True, fast=False)
+    assert fast.halted and slow.halted
+    assert_identical(fast, slow)
+
+
+# --- firmware images ---------------------------------------------------------------
+
+def firmware_emulator(cfu, seed, with_timing=True):
+    soc = Soc(ARTY_A7_35T, ARTY_DEFAULT)
+    emu = Emulator(soc, cfu=cfu, with_timing=with_timing)
+    ram = soc.memory_map.get("main_ram").base
+    data_base = ram + 0x1000
+    uart = soc.csr_bank.get("uart_rxtx").address
+    a, b = make_vectors(seed)
+    emu.bus.load_bytes(data_base, a.tobytes())
+    emu.bus.load_bytes(data_base + N, b.tobytes())
+    emu.load_assembly(firmware(data_base, uart), region="main_ram")
+    return emu
+
+
+@pytest.mark.parametrize("with_timing", [True, False],
+                         ids=["timed", "functional"])
+@pytest.mark.parametrize("make_cfu", [KwsCfu, KwsCfu2Rtl],
+                         ids=["model", "gateware"])
+@pytest.mark.parametrize("seed", [0, 1])
+def test_dot_product_firmware_differential(seed, make_cfu, with_timing):
+    fast = firmware_emulator(make_cfu(), seed, with_timing)
+    slow = firmware_emulator(make_cfu(), seed, with_timing)
+    fast_exit = fast.run(fast=True)
+    slow_exit = slow.run(fast=False)
+    assert fast_exit == slow_exit
+    assert fast.uart_output == slow.uart_output == "OK"
+    assert_identical(fast.machine, slow.machine)
+
+
+def test_postproc_firmware_differential():
+    mult, shift, zp, bias = 0x52000000, -7, -12, 4321
+    results = []
+    for fast in (True, False):
+        soc = Soc(ARTY_A7_35T, ARTY_DEFAULT)
+        emu = Emulator(soc, cfu=KwsCfu2Rtl())
+        emu.load_assembly(postproc_firmware(mult, shift, zp, bias),
+                          region="main_ram")
+        emu.run(fast=fast)
+        results.append(emu)
+    assert_identical(results[0].machine, results[1].machine)
+
+
+def test_misuse_firmware_differential():
+    """A CFU instruction with no CFU attached fails identically —
+    message and partial architectural state both match."""
+    states, machines = [], []
+    for fast in (True, False):
+        soc = Soc(ARTY_A7_35T, ARTY_DEFAULT)
+        emu = Emulator(soc)
+        emu.load_assembly("cfu 0, 0, a0, a1, a2", region="main_ram")
+        with pytest.raises(RuntimeError, match="no CFU attached") as err:
+            emu.run(fast=fast)
+        states.append((str(err.value), machine_state(emu.machine)))
+        machines.append(emu.machine)
+    assert states[0] == states[1]
+    assert_same_memory(machines[0].memory, machines[1].memory)
+
+
+def test_misaligned_load_fails_identically():
+    source = f"""
+        li x5, {DATA_BASE}
+        addi x6, x6, 7
+        lw x7, 2(x5)
+    """
+    states, machines = [], []
+    for fast in (True, False):
+        machine = Machine()
+        machine.load_assembly(source)
+        with pytest.raises(Exception) as err:
+            machine.run(fast=fast)
+        states.append((type(err.value).__name__, str(err.value),
+                       machine_state(machine)))
+        machines.append(machine)
+    assert states[0] == states[1]
+    assert_same_memory(machines[0].memory, machines[1].memory)
+
+
+# --- self-modifying code -----------------------------------------------------------
+
+def test_self_modifying_code_differential():
+    """A loop that rewrites its own add-immediate each iteration: the
+    decode cache must observe the store (page invalidation) so the fast
+    path sums 1 + 2*4 = 9 exactly like the reference path."""
+    from repro.cpu.assembler import assemble
+
+    patched, _ = assemble("addi x6, x6, 2")
+    patched_word = int.from_bytes(patched, "little")
+    source = f"""
+        li   x7, 5              # iterations
+        li   x6, 0              # sum
+        la   x8, patch
+        li   x9, {patched_word}
+    loop:
+    patch:
+        addi x6, x6, 1          # becomes 'addi x6, x6, 2' after 1st pass
+        sw   x9, 0(x8)
+        addi x7, x7, -1
+        bnez x7, loop
+        mv   a0, x6
+        li   a7, 93
+        ecall
+    """
+    machines = []
+    for fast in (True, False):
+        machine = Machine(timing=VexTiming(ARTY_DEFAULT))
+        machine.load_assembly(source)
+        machine.run(fast=fast)
+        machines.append(machine)
+    fast_machine, slow_machine = machines
+    assert fast_machine.regs[10] == 1 + 2 * 4
+    assert fast_machine.invalidation_count > 0
+    assert_identical(fast_machine, slow_machine)
