@@ -68,15 +68,18 @@ class RtlCfuAdapter:
     from command acceptance to response.
     """
 
-    def __init__(self, rtl_cfu, timeout=4096):
+    def __init__(self, rtl_cfu, timeout=4096, backend="auto"):
         self.rtl = rtl_cfu
-        self.sim = Simulator(rtl_cfu.module)
+        self.backend = backend
+        self.sim = Simulator(rtl_cfu.module, backend=backend)
         self.ports = rtl_cfu.ports
         self.timeout = timeout
         self.name = f"{rtl_cfu.name} (rtl)"
 
     def reset(self):
-        self.sim = Simulator(self.rtl.module)
+        # The compiled program is cached per module, so this re-inits
+        # slot and memory state without re-elaborating or re-scheduling.
+        self.sim = Simulator(self.rtl.module, backend=self.backend)
 
     def execute(self, funct3, funct7, a, b):
         sim, ports = self.sim, self.ports

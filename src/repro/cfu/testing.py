@@ -46,10 +46,14 @@ class GoldenReport:
         return not self.mismatches
 
 
-def run_sequence(rtl_cfu, model, sequence):
-    """Feed identical (funct3, funct7, a, b) ops to gateware and model."""
+def run_sequence(rtl_cfu, model, sequence, backend="auto"):
+    """Feed identical (funct3, funct7, a, b) ops to gateware and model.
+
+    ``backend`` picks the RTL simulation backend when a bare
+    :class:`RtlCfu` is passed (an already-built adapter keeps its own).
+    """
     if isinstance(rtl_cfu, RtlCfu):
-        rtl_cfu = RtlCfuAdapter(rtl_cfu)
+        rtl_cfu = RtlCfuAdapter(rtl_cfu, backend=backend)
     if not isinstance(model, CfuModel):
         raise TypeError("model must be a CfuModel")
     model.reset()
@@ -77,9 +81,11 @@ def random_sequence(opcodes, count=100, seed=0, operand_bits=32):
     ]
 
 
-def assert_equivalent(rtl_cfu, model, opcodes, count=100, seed=0):
+def assert_equivalent(rtl_cfu, model, opcodes, count=100, seed=0,
+                      backend="auto"):
     """Raise AssertionError with a readable diff if RTL and model diverge."""
-    report = run_sequence(rtl_cfu, model, random_sequence(opcodes, count, seed))
+    report = run_sequence(rtl_cfu, model, random_sequence(opcodes, count, seed),
+                          backend=backend)
     if not report.passed:
         shown = "\n".join(str(m) for m in report.mismatches[:10])
         raise AssertionError(

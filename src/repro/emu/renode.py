@@ -24,13 +24,16 @@ from ..soc.soc import Soc
 class Emulator:
     """A SoC + CPU + optional CFU, ready to run programs."""
 
-    def __init__(self, soc, cfu=None, with_timing=True, tracer=None):
+    def __init__(self, soc, cfu=None, with_timing=True, tracer=None,
+                 rtl_backend="auto"):
         if not isinstance(soc, Soc):
             raise TypeError("Emulator requires a Soc")
         self.soc = soc
         self.bus = soc.bus()
+        self.rtl_backend = rtl_backend
         if isinstance(cfu, RtlCfu):
-            cfu = RtlCfuAdapter(cfu)  # cycle-accurate gateware simulation
+            # cycle-accurate gateware simulation
+            cfu = RtlCfuAdapter(cfu, backend=rtl_backend)
         if cfu is not None and not isinstance(cfu, (CfuModel, RtlCfuAdapter)):
             raise TypeError("cfu must be a CfuModel or RtlCfu(-Adapter)")
         self.cfu = cfu
@@ -92,7 +95,7 @@ class Emulator:
         """Swap gateware for software emulation (or vice versa) in place —
         the Section II-E debugging technique."""
         if isinstance(cfu, RtlCfu):
-            cfu = RtlCfuAdapter(cfu)
+            cfu = RtlCfuAdapter(cfu, backend=self.rtl_backend)
         self.cfu = cfu
         self.machine.cfu = cfu
         return self

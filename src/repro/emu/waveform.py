@@ -83,11 +83,12 @@ class VcdWriter:
         raise TypeError("text() only available for in-memory streams")
 
 
-def capture_cfu_waveform(rtl_cfu, operations, extra_signals=()):
+def capture_cfu_waveform(rtl_cfu, operations, extra_signals=(),
+                         backend="auto"):
     """Run an op sequence on a CFU and return the VCD text."""
     from ..cfu.rtl import RtlCfuAdapter
 
-    adapter = RtlCfuAdapter(rtl_cfu)
+    adapter = RtlCfuAdapter(rtl_cfu, backend=backend)
     signals = rtl_cfu.ports.all() + list(extra_signals)
     writer = VcdWriter(signals, module=rtl_cfu.name.replace("-", "_"))
     adapter.sim.add_tracer(writer)

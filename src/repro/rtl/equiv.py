@@ -37,13 +37,16 @@ class EquivalenceReport:
 
 
 def check_equivalence(module_a, module_b, inputs, outputs, cycles=200,
-                      seed=0, settle_only=False, input_bias=None):
+                      seed=0, settle_only=False, input_bias=None,
+                      backend="auto"):
     """Co-simulate two modules under identical random stimulus.
 
     ``inputs``/``outputs`` are lists whose items are either a signal
     shared by both modules, or an ``(a_signal, b_signal)`` pair when the
     two designs use distinct signal objects.  ``input_bias`` optionally
     maps a (first) input signal to a callable(rng) producing its value.
+    ``backend`` selects the simulation backend for both sides
+    (``"auto"``/``"compiled"``/``"interp"``).
     """
     def pairs(items):
         return [item if isinstance(item, tuple) else (item, item)
@@ -51,8 +54,8 @@ def check_equivalence(module_a, module_b, inputs, outputs, cycles=200,
 
     input_pairs = pairs(inputs)
     output_pairs = pairs(outputs)
-    sim_a = Simulator(module_a)
-    sim_b = Simulator(module_b)
+    sim_a = Simulator(module_a, backend=backend)
+    sim_b = Simulator(module_b, backend=backend)
     rng = random.Random(seed)
     report = EquivalenceReport()
     for cycle in range(cycles):
@@ -81,6 +84,7 @@ def check_equivalence(module_a, module_b, inputs, outputs, cycles=200,
 
 def assert_modules_equivalent(module_a, module_b, inputs, outputs,
                               cycles=200, seed=0, **kwargs):
+    """Raise AssertionError with mismatch details unless equivalent."""
     report = check_equivalence(module_a, module_b, inputs, outputs,
                                cycles=cycles, seed=seed, **kwargs)
     if not report.equivalent:

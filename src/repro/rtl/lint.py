@@ -11,7 +11,12 @@ Checks a module hierarchy for the mistakes that silently break designs:
   than its target (often intended, always worth seeing);
 - **multi-domain drivers** (also a hard error in the simulator);
 - **unconditional multiple drivers** in the same domain (last write wins
-  silently — usually a copy-paste bug).
+  silently — usually a copy-paste bug);
+- **combinational loops** found statically from the signal dependency
+  graph (:func:`find_comb_cycle`), naming the loop path at elaboration
+  time instead of after the simulator burns its settle budget.  The
+  compiled simulation backend (:mod:`repro.rtl.compile`) reuses the same
+  detector when its scheduler cannot levelize the netlist.
 """
 
 from __future__ import annotations
@@ -54,6 +59,86 @@ def _walk(value, visit):
         _walk(child, visit)
     if isinstance(value, Slice):
         _walk(value.value, visit)
+
+
+def collect_signals(value, into=None):
+    """Every :class:`Signal` read anywhere inside ``value``."""
+    if into is None:
+        into = set()
+    stack = [value]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Signal):
+            into.add(node)
+        else:
+            stack.extend(node.operands())
+    return into
+
+
+def comb_dependency_graph(module):
+    """Map each comb-computed signal to the set of signals it reads.
+
+    Nodes are the signals whose values are recomputed on every settle
+    pass: targets of comb-domain statements, plus the data outputs of
+    combinational memory read ports (which follow their address within
+    the same pass).  Edges capture every read in a right-hand side,
+    guard, or read-port address.
+    """
+    deps = {}
+    for domain_name, stmt in module.all_statements():
+        if domain_name != "comb":
+            continue
+        bucket = deps.setdefault(stmt.target_signal(), set())
+        collect_signals(stmt.rhs, bucket)
+        if stmt.guard is not None:
+            collect_signals(stmt.guard, bucket)
+    for mem in module.all_memories():
+        for rp in mem.read_ports:
+            if rp.domain == "comb":
+                collect_signals(rp.addr, deps.setdefault(rp.data, set()))
+    return deps
+
+
+def find_comb_cycle(module):
+    """Find a combinational cycle statically, before simulating.
+
+    Returns the loop as a list of signals whose first and last elements
+    coincide (``a -> b -> a``), or ``None`` when the comb netlist is
+    acyclic.  Only edges between comb-computed signals matter: inputs
+    and registers are fixed during a settle pass and cannot sustain a
+    loop.
+    """
+    graph = comb_dependency_graph(module)
+    node_ids = {id(sig) for sig in graph}
+    state = {}  # id(signal) -> 1 (on the DFS path) or 2 (fully explored)
+
+    def neighbours(sig):
+        return [dep for dep in graph[sig] if id(dep) in node_ids]
+
+    for root in graph:
+        if id(root) in state:
+            continue
+        state[id(root)] = 1
+        path = [root]
+        stack = [iter(neighbours(root))]
+        while stack:
+            advanced = False
+            for child in stack[-1]:
+                mark = state.get(id(child))
+                if mark == 1:
+                    start = next(i for i, sig in enumerate(path)
+                                 if sig is child)
+                    return path[start:] + [child]
+                if mark is None:
+                    state[id(child)] = 1
+                    path.append(child)
+                    stack.append(iter(neighbours(child)))
+                    advanced = True
+                    break
+            if not advanced:
+                state[id(path.pop())] = 2
+                stack.pop()
+    return None
 
 
 def lint(module, inputs=()):
@@ -124,4 +209,12 @@ def lint(module, inputs=()):
                 f"{count} unconditional assignments in '{domain}' "
                 "(last one wins)",
             ))
+
+    cycle = find_comb_cycle(module)
+    if cycle:
+        report.warnings.append(LintWarning(
+            "comb-loop", cycle[0].name,
+            "combinational cycle: "
+            + " -> ".join(sig.name for sig in cycle),
+        ))
     return report

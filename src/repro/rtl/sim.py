@@ -1,12 +1,20 @@
 """Cycle-accurate simulator for the RTL DSL.
 
 The simulator evaluates a :class:`~repro.rtl.dsl.Module` hierarchy.
-Combinational logic is settled by fixpoint iteration (sufficient for the
-acyclic netlists the framework produces); synchronous logic updates on
-:meth:`Simulator.tick`.  Semantics follow nMigen: within one domain,
-later assignments override earlier ones whenever their guard holds, and
-a combinational signal with no active assignment falls back to its reset
-value.
+This file is the *reference interpreter*: combinational logic is settled
+by fixpoint iteration (sufficient for the acyclic netlists the framework
+produces); synchronous logic updates on :meth:`Simulator.tick`.
+Semantics follow nMigen: within one domain, later assignments override
+earlier ones whenever their guard holds, and a combinational signal with
+no active assignment falls back to its reset value.
+
+``Simulator(module)`` dispatches between two backends:
+
+- ``backend="interp"`` — this interpreter, the semantic ground truth;
+- ``backend="compiled"`` — the levelized, code-generated backend in
+  :mod:`repro.rtl.compile` (bit-identical, much faster);
+- ``backend="auto"`` (default) — compiled when the netlist can be
+  scheduled, interpreter otherwise.
 """
 
 from __future__ import annotations
@@ -29,16 +37,48 @@ _MAX_SETTLE_PASSES = 64
 
 
 class CombLoopError(RuntimeError):
-    """Raised when combinational logic fails to reach a fixpoint."""
+    """Raised when combinational logic fails to reach a fixpoint.
+
+    Carries the diagnosis: ``module_name``, ``unstable`` (names of the
+    signals still changing on the last settle pass), and ``cycle`` (the
+    static loop path from :func:`repro.rtl.lint.find_comb_cycle`, when
+    one exists).
+    """
+
+    def __init__(self, message, module_name=None, unstable=(), cycle=None):
+        super().__init__(message)
+        self.module_name = module_name
+        self.unstable = list(unstable)
+        self.cycle = list(cycle) if cycle else None
 
 
 class Simulator:
     """Drives a module: ``poke`` inputs, ``settle`` or ``tick``, ``peek``."""
 
-    def __init__(self, module):
+    def __new__(cls, module, backend="auto"):
+        if backend not in ("auto", "compiled", "interp"):
+            raise ValueError(f"unknown simulator backend {backend!r}")
+        if cls is Simulator and backend != "interp":
+            if not isinstance(module, Module):
+                raise TypeError("Simulator requires a Module")
+            from .compile import CompiledSimulator, CompileError, \
+                compile_module
+            try:
+                compile_module(module)
+            except CompileError:
+                if backend == "compiled":
+                    raise
+            else:
+                # __init__ then runs on the compiled subclass, which
+                # fetches the cached program.
+                return super().__new__(CompiledSimulator)
+        return super().__new__(cls)
+
+    def __init__(self, module, backend="auto"):
         if not isinstance(module, Module):
             raise TypeError("Simulator requires a Module")
         self.module = module
+        self.backend = "interp"
         self.env = {}
         self.time = 0
         self.mem_state = {
@@ -91,7 +131,25 @@ class Simulator:
             self.env.update(new_vals)
             if not changed:
                 return
-        raise CombLoopError(f"comb logic did not settle in module {self.module.name}")
+        raise self._comb_loop_error()
+
+    def _comb_loop_error(self):
+        """Diagnose a failed settle: who is still oscillating, and why."""
+        from .lint import find_comb_cycle
+
+        new_vals = self._comb_pass()
+        unstable = sorted(sig.name for sig, val in new_vals.items()
+                          if self.env.get(sig) != val)
+        cycle_path = find_comb_cycle(self.module)
+        cycle = [sig.name for sig in cycle_path] if cycle_path else None
+        detail = (f"unstable signals: {', '.join(unstable)}" if unstable
+                  else "no unstable signals identified")
+        if cycle:
+            detail += "; static comb cycle: " + " -> ".join(cycle)
+        return CombLoopError(
+            f"comb logic did not settle in module {self.module.name} "
+            f"after {_MAX_SETTLE_PASSES} passes ({detail})",
+            module_name=self.module.name, unstable=unstable, cycle=cycle)
 
     def tick(self, cycles=1):
         """Advance one (or more) clock cycles."""

@@ -53,7 +53,8 @@ def test_unknown_op_rejected():
         KwsCfu().op(km.F3_CONFIG, 9, 0, 0)
 
 
-def test_rtl_golden_random_mix():
+@pytest.mark.parametrize("backend", ["interp", "compiled"])
+def test_rtl_golden_random_mix(backend):
     rng = random.Random(99)
     seq = [
         (km.F3_CONFIG, km.CFG_MULT, rng.randrange(1 << 30, 1 << 31), 0),
@@ -65,11 +66,12 @@ def test_rtl_golden_random_mix():
                          km.F3_READ_ACC])
         f7 = 1 if f3 in (km.F3_MAC4, km.F3_MAC1) and rng.random() < 0.3 else 0
         seq.append((f3, f7, rng.getrandbits(32), rng.getrandbits(32)))
-    report = run_sequence(KwsCfu2Rtl(), KwsCfu(), seq)
+    report = run_sequence(KwsCfu2Rtl(), KwsCfu(), seq, backend=backend)
     assert report.passed, report.mismatches[:3]
 
 
-def test_rtl_reconfiguration_mid_stream():
+@pytest.mark.parametrize("backend", ["interp", "compiled"])
+def test_rtl_reconfiguration_mid_stream(backend):
     rng = random.Random(5)
     seq = []
     for round_index in range(4):
@@ -80,7 +82,7 @@ def test_rtl_reconfiguration_mid_stream():
         seq.append((km.F3_CONFIG, km.CFG_OUTPUT, 0, 0x80 | (0x7F << 8)))
         seq.append((km.F3_MAC4, 1, rng.getrandbits(32), rng.getrandbits(32)))
         seq.append((km.F3_POSTPROC, 0, 0, rng.randrange(-500, 500) & 0xFFFFFFFF))
-    report = run_sequence(KwsCfu2Rtl(), KwsCfu(), seq)
+    report = run_sequence(KwsCfu2Rtl(), KwsCfu(), seq, backend=backend)
     assert report.passed
 
 

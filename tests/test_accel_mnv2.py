@@ -73,20 +73,23 @@ def _param_sequence(rng, channels):
     return seq
 
 
-def test_postproc_rtl_golden():
+@pytest.mark.parametrize("backend", ["interp", "compiled"])
+def test_postproc_rtl_golden(backend):
     rng = random.Random(11)
     seq = _param_sequence(rng, 8)
     seq += [(cm.F3_POSTPROC, 0, rng.randrange(-2**24, 2**24) & 0xFFFFFFFF, 0)
             for _ in range(64)]
-    report = run_sequence(PostprocRtl(channels=8), Mnv2Cfu(), seq)
+    report = run_sequence(PostprocRtl(channels=8), Mnv2Cfu(), seq,
+                          backend=backend)
     assert report.passed, report.mismatches[:3]
 
 
-def test_mac4_rtl_golden():
+@pytest.mark.parametrize("backend", ["interp", "compiled"])
+def test_mac4_rtl_golden(backend):
     rng = random.Random(12)
     seq = [(cm.F3_MAC4, rng.choice([0, 1]), rng.getrandbits(32),
             rng.getrandbits(32)) for _ in range(100)]
-    report = run_sequence(Mac4Rtl(), Mnv2Cfu(), seq)
+    report = run_sequence(Mac4Rtl(), Mnv2Cfu(), seq, backend=backend)
     assert report.passed
 
 
@@ -103,15 +106,17 @@ def _cfu1_run_sequence(rng, depth, channels, run_mode, runs):
     return seq
 
 
+@pytest.mark.parametrize("backend", ["interp", "compiled"])
 @pytest.mark.parametrize("run_mode,runs", [
     (cm.RUN_RAW, 3), (cm.RUN_POSTPROC, 6), (cm.RUN_PACK4, 2),
 ])
-def test_cfu1_rtl_golden_all_run_modes(run_mode, runs):
+def test_cfu1_rtl_golden_all_run_modes(run_mode, runs, backend):
     rng = random.Random(run_mode * 7 + runs)
     seq = _cfu1_run_sequence(rng, depth=4, channels=8,
                              run_mode=run_mode, runs=runs)
     report = run_sequence(
-        Cfu1Rtl(channels=8, filter_words=64, input_words=16), Mnv2Cfu(), seq)
+        Cfu1Rtl(channels=8, filter_words=64, input_words=16), Mnv2Cfu(), seq,
+        backend=backend)
     assert report.passed, report.mismatches[:3]
 
 

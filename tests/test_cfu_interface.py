@@ -62,23 +62,27 @@ def test_null_cfu_rejects():
         cfu_op(NullCfu(), 0, 0, 1, 2)
 
 
-def test_rtl_adapter_matches_model():
+@pytest.mark.parametrize("backend", ["interp", "compiled"])
+def test_rtl_adapter_matches_model(backend):
     report = run_sequence(DoublerRtl(), Doubler(),
-                          random_sequence([(0, 0)], count=30, seed=4))
+                          random_sequence([(0, 0)], count=30, seed=4),
+                          backend=backend)
     assert report.passed
 
 
-def test_adapter_reports_single_cycle_for_comb():
-    adapter = RtlCfuAdapter(DoublerRtl())
+@pytest.mark.parametrize("backend", ["interp", "compiled"])
+def test_adapter_reports_single_cycle_for_comb(backend):
+    adapter = RtlCfuAdapter(DoublerRtl(), backend=backend)
     _, cycles = adapter.execute(0, 0, 5, 6)
     assert cycles == 1
 
 
-def test_adapter_reset_clears_state():
+@pytest.mark.parametrize("backend", ["interp", "compiled"])
+def test_adapter_reset_clears_state(backend):
     from repro.accel import Mnv2Cfu
     from repro.accel.mnv2.rtl import Mac4Rtl
 
-    adapter = RtlCfuAdapter(Mac4Rtl())
+    adapter = RtlCfuAdapter(Mac4Rtl(), backend=backend)
     adapter.execute(5, 1, 0x01010101, 0x01010101)  # acc = 4
     adapter.reset()
     result, _ = adapter.execute(5, 0, 0, 0)  # accumulate nothing

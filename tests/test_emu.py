@@ -55,10 +55,11 @@ def test_cfu_instruction_with_software_model():
     assert emu.run() == 24
 
 
-def test_cfu_instruction_with_rtl_cosimulation():
+@pytest.mark.parametrize("rtl_backend", ["interp", "compiled"])
+def test_cfu_instruction_with_rtl_cosimulation(rtl_backend):
     """The Renode mode: ISA CPU + cycle-accurate gateware CFU."""
     soc = Soc(ARTY_A7_35T, ARTY_DEFAULT)
-    emu = Emulator(soc, cfu=KwsCfu2Rtl())
+    emu = Emulator(soc, cfu=KwsCfu2Rtl(), rtl_backend=rtl_backend)
     emu.load_assembly(f"""
         li a1, 0x01010101
         li a2, 0x05050505
@@ -149,3 +150,21 @@ def test_vcd_writer_standalone():
     text = writer.text()
     assert "$var wire 4" in text
     assert "b11 " in text  # count reached 3
+
+
+def test_vcd_identical_across_rtl_backends():
+    """Waveform capture is backend-independent: the compiled simulator
+    drives tracers at the same times with the same values, so the VCD
+    text matches the interpreter's byte for byte."""
+    ops = [
+        (km.F3_CONFIG, 1, 0x40000000, 0),
+        (km.F3_MAC4, 1, 0x01020304, 0x01010101),
+        (km.F3_MAC4, 0, 0x7F7F7F7F, 0x02020202),
+        (km.F3_READ_ACC, 0, 0, 0),
+    ]
+    vcd_interp, results_interp = capture_cfu_waveform(
+        KwsCfu2Rtl(), ops, backend="interp")
+    vcd_compiled, results_compiled = capture_cfu_waveform(
+        KwsCfu2Rtl(), ops, backend="compiled")
+    assert results_interp == results_compiled
+    assert vcd_interp == vcd_compiled

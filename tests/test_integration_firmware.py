@@ -89,9 +89,9 @@ def make_vectors(seed):
     return a, b
 
 
-def run_firmware(cfu, seed=0):
+def run_firmware(cfu, seed=0, rtl_backend="auto"):
     soc = Soc(ARTY_A7_35T, ARTY_DEFAULT)
-    emu = Emulator(soc, cfu=cfu)
+    emu = Emulator(soc, cfu=cfu, rtl_backend=rtl_backend)
     ram = soc.memory_map.get("main_ram").base
     data_base = ram + 0x1000
     uart = soc.csr_bank.get("uart_rxtx").address
@@ -112,9 +112,11 @@ def test_dot_product_firmware_with_cfu_model(seed):
     assert emu.cycles > 0
 
 
-def test_dot_product_firmware_with_cfu_gateware():
+@pytest.mark.parametrize("rtl_backend", ["interp", "compiled"])
+def test_dot_product_firmware_with_cfu_gateware(rtl_backend):
     """Same firmware, CFU simulated cycle-accurately at RTL level."""
-    result, expected, emu = run_firmware(KwsCfu2Rtl(), seed=3)
+    result, expected, emu = run_firmware(KwsCfu2Rtl(), seed=3,
+                                         rtl_backend=rtl_backend)
     assert result == expected
     assert emu.uart_output == "OK"
 

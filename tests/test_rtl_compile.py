@@ -1,0 +1,491 @@
+"""Differential proof of the compiled RTL backend.
+
+Every behaviour the interpreter exhibits — poke/settle/tick semantics,
+later-assignment-wins, comb fallback to reset, sign/width rules, memory
+read-before-write, tracer timing — must be reproduced bit for bit by
+``backend="compiled"``.  This suite checks that on (a) every shipped
+gateware CFU and (b) a corpus of randomized generated netlists, plus
+the error-path contracts (comb loops, driven-signal pokes, backend
+selection) and the per-module program cache that makes
+``RtlCfuAdapter.reset()`` cheap.
+"""
+
+import random
+
+import pytest
+
+from repro.accel import Cfu1Rtl, KwsCfu2Rtl, Mac4Rtl, PostprocRtl
+from repro.accel.kws import model as km
+from repro.accel.mnv2 import model as cm
+from repro.cfu import RtlCfuAdapter
+from repro.cfu.rtl import CombinationalCfu
+from repro.rtl import (
+    Cat,
+    CombLoopError,
+    CompiledSimulator,
+    CompileError,
+    Const,
+    Memory,
+    Module,
+    Mux,
+    Signal,
+    Simulator,
+    compile_module,
+)
+
+
+# --- helpers -----------------------------------------------------------------
+
+def _module_signals(module):
+    """Every signal the module's statements and memory ports touch."""
+    from repro.rtl.lint import collect_signals
+
+    seen, out = set(), []
+
+    def add_all(sigs):
+        for sig in sigs:
+            if id(sig) not in seen:
+                seen.add(id(sig))
+                out.append(sig)
+
+    for _, stmt in module.all_statements():
+        add_all([stmt.target_signal()])
+        add_all(collect_signals(stmt.rhs))
+        if stmt.guard is not None:
+            add_all(collect_signals(stmt.guard))
+    for mem in module.all_memories():
+        for rp in mem.read_ports:
+            add_all([rp.data])
+            add_all(collect_signals(rp.addr))
+        for wp in mem.write_ports:
+            add_all(collect_signals(wp.en))
+            add_all(collect_signals(wp.addr))
+            add_all(collect_signals(wp.data))
+    return out
+
+
+def _assert_state_parity(sim_i, sim_c, module, context=""):
+    for sig in _module_signals(module):
+        assert sim_i.peek(sig) == sim_c.peek(sig), (context, sig.name)
+        assert sim_i.peek_signed(sig) == sim_c.peek_signed(sig), \
+            (context, sig.name)
+    for mem in module.all_memories():
+        assert sim_i.memory(mem) == sim_c.memory(mem), (context, mem.name)
+    assert sim_i.time == sim_c.time, context
+    # Slot invariant: every compiled slot holds an in-range bit pattern.
+    for sig, value in zip(sim_c.program.signals, sim_c._vals):
+        assert 0 <= value < (1 << sig.width), (context, sig.name)
+
+
+# --- shipped gateware CFUs ---------------------------------------------------
+
+class _DoublerRtl(CombinationalCfu):
+    name = "doubler"
+
+    def datapath(self, m, ports):
+        return ports.cmd_in0 + ports.cmd_in0
+
+
+def _mnv2_param_seq(rng, channels):
+    seq = []
+    for _ in range(channels):
+        seq.append((cm.F3_CONFIG, cm.CFG_BIAS,
+                    rng.randrange(-1000, 1000) & 0xFFFFFFFF, 0))
+        seq.append((cm.F3_CONFIG, cm.CFG_MULT,
+                    rng.randrange(1 << 30, 1 << 31), 0))
+        seq.append((cm.F3_CONFIG, cm.CFG_SHIFT,
+                    -rng.randrange(0, 12) & 0xFFFFFFFF, 0))
+    seq.append((cm.F3_CONFIG, cm.CFG_OUTPUT, (-3) & 0xFFFFFFFF,
+                0x80 | (0x7F << 8)))
+    return seq
+
+
+def _doubler_seq(rng):
+    return [(0, 0, rng.getrandbits(32), rng.getrandbits(32))
+            for _ in range(40)]
+
+
+def _postproc_seq(rng):
+    seq = _mnv2_param_seq(rng, 8)
+    seq += [(cm.F3_POSTPROC, 0, rng.randrange(-2**24, 2**24) & 0xFFFFFFFF, 0)
+            for _ in range(40)]
+    return seq
+
+
+def _mac4_seq(rng):
+    return [(cm.F3_MAC4, rng.choice([0, 1]), rng.getrandbits(32),
+             rng.getrandbits(32)) for _ in range(60)]
+
+
+def _cfu1_seq(rng):
+    depth, channels = 4, 8
+    seq = [(cm.F3_CONFIG, cm.CFG_DEPTH, depth, 0)]
+    seq += _mnv2_param_seq(rng, channels)
+    for _ in range(channels * depth):
+        seq.append((cm.F3_WRITE_FILT, 0, rng.getrandbits(32), 0))
+    seq.append((cm.F3_WRITE_INPUT, 1, rng.getrandbits(32), 0))
+    for _ in range(depth - 1):
+        seq.append((cm.F3_WRITE_INPUT, 0, rng.getrandbits(32), 0))
+    for mode in (cm.RUN_RAW, cm.RUN_POSTPROC, cm.RUN_PACK4):
+        seq += [(cm.F3_RUN1, mode, 0, 0)] * 2
+    return seq
+
+
+def _kws_seq(rng):
+    seq = [
+        (km.F3_CONFIG, km.CFG_MULT, rng.randrange(1 << 30, 1 << 31), 0),
+        (km.F3_CONFIG, km.CFG_SHIFT, -7 & 0xFFFFFFFF, 0),
+        (km.F3_CONFIG, km.CFG_OUTPUT, (-10) & 0xFFFFFFFF, 0x80 | (0x7F << 8)),
+    ]
+    for _ in range(80):
+        f3 = rng.choice([km.F3_MAC4, km.F3_MAC1, km.F3_POSTPROC,
+                         km.F3_READ_ACC])
+        f7 = 1 if f3 in (km.F3_MAC4, km.F3_MAC1) and rng.random() < 0.3 else 0
+        seq.append((f3, f7, rng.getrandbits(32), rng.getrandbits(32)))
+    return seq
+
+
+GATEWARE = [
+    ("doubler", _DoublerRtl, _doubler_seq),
+    ("mnv2-postproc", lambda: PostprocRtl(channels=8), _postproc_seq),
+    ("mnv2-mac4", Mac4Rtl, _mac4_seq),
+    ("mnv2-cfu1",
+     lambda: Cfu1Rtl(channels=8, filter_words=64, input_words=16), _cfu1_seq),
+    ("kws-cfu2", KwsCfu2Rtl, _kws_seq),
+]
+
+
+@pytest.mark.parametrize("name,factory,make_seq",
+                         GATEWARE, ids=[g[0] for g in GATEWARE])
+def test_gateware_cfu_differential(name, factory, make_seq):
+    """Interp and compiled adapters agree on every op, cycle count, and
+    on the full post-run signal/memory state."""
+    cfu = factory()
+    adapter_i = RtlCfuAdapter(cfu, backend="interp")
+    adapter_c = RtlCfuAdapter(cfu, backend="compiled")
+    assert adapter_i.sim.backend == "interp"
+    assert adapter_c.sim.backend == "compiled"
+    for index, op in enumerate(make_seq(random.Random(7))):
+        result_i = adapter_i.execute(*op)
+        result_c = adapter_c.execute(*op)
+        assert result_i == result_c, (name, index, op)
+    _assert_state_parity(adapter_i.sim, adapter_c.sim, cfu.module, name)
+
+
+# --- randomized generated netlists -------------------------------------------
+
+def _random_netlist(seed):
+    """Build a random acyclic module exercising the whole construct set.
+
+    Comb targets only ever read signals generated before them, so the
+    netlist is levelizable by construction; sync registers and memory
+    read ports may feed back freely.
+    """
+    rng = random.Random(seed)
+    m = Module(f"rand{seed}")
+    inputs = [Signal(rng.choice([1, 3, 8, 16, 32]), name=f"in{i}",
+                     signed=rng.random() < 0.3)
+              for i in range(4)]
+    pool = list(inputs)
+    memories = []
+
+    def operand():
+        return rng.choice(pool)
+
+    def expr(depth=0):
+        if depth >= 2 or rng.random() < 0.3:
+            if rng.random() < 0.15:
+                return Const(rng.getrandbits(8), 8)
+            return operand()
+        a, b = expr(depth + 1), expr(depth + 1)
+        kind = rng.randrange(13)
+        if kind == 0:
+            return a + b
+        if kind == 1:
+            return a - b
+        if kind == 2:
+            return a * b
+        if kind == 3:
+            return a & b
+        if kind == 4:
+            return a | b
+        if kind == 5:
+            return a ^ b
+        if kind == 6:
+            return ~a
+        if kind == 7:
+            return a << Const(rng.randrange(0, 4), 2)
+        if kind == 8:
+            return a >> Const(rng.randrange(0, 4), 2)
+        if kind == 9:
+            return Mux(a.any(), a, b)
+        if kind == 10:
+            return Cat(a[0:min(8, a.width)], b[0:min(8, b.width)])
+        if kind == 11:
+            return rng.choice([a == b, a != b, a < b, a >= b])
+        return rng.choice([a.any(), a.all(), a.xor(),
+                           a.as_signed(), a.as_unsigned()])
+
+    def condition():
+        return rng.choice([operand().any(), expr(depth=1).any(),
+                           operand()[0], operand() == operand()])
+
+    # Combinational chain: plain, guarded, and slice-assigned targets.
+    for i in range(rng.randrange(6, 12)):
+        width = rng.choice([1, 4, 8, 16, 24])
+        sig = Signal(width, name=f"c{i}", signed=rng.random() < 0.25,
+                     reset=rng.getrandbits(min(width, 12)) & ((1 << width) - 1))
+        style = rng.random()
+        if style < 0.4 or width < 4:
+            m.d.comb += sig.eq(expr())
+        elif style < 0.75:  # priority mux; later assignment wins on overlap
+            with m.If(condition()):
+                m.d.comb += sig.eq(expr())
+            with m.Elif(condition()):
+                m.d.comb += sig.eq(expr())
+            with m.Else():
+                m.d.comb += sig.eq(expr())
+            if rng.random() < 0.3:
+                with m.If(condition()):
+                    m.d.comb += sig.eq(expr())
+        else:  # partial (slice) assignment, lower half always, upper guarded
+            half = width // 2
+            m.d.comb += sig[0:half].eq(expr())
+            with m.If(condition()):
+                m.d.comb += sig[half:width].eq(expr())
+        pool.append(sig)
+
+    # Synchronous registers (may read themselves and anything else).
+    for i in range(rng.randrange(2, 5)):
+        width = rng.choice([4, 8, 16])
+        reg = Signal(width, name=f"r{i}", reset=rng.getrandbits(width))
+        pool.append(reg)
+        if rng.random() < 0.5:
+            m.d.sync += reg.eq(expr())
+        else:
+            with m.If(condition()):
+                m.d.sync += reg.eq(expr())
+            with m.Else():
+                m.d.sync += reg.eq(reg + 1)
+
+    # A memory with comb + sync read ports and a write port.
+    if rng.random() < 0.8:
+        mem = Memory(width=rng.choice([8, 12]), depth=rng.choice([4, 8]),
+                     name="m0",
+                     init=[rng.getrandbits(8) for _ in range(3)])
+        m.add_memory(mem)
+        memories.append(mem)
+        crp = mem.read_port("comb")
+        srp = mem.read_port("sync")
+        wp = mem.write_port()
+        for port_sig in (crp.addr, srp.addr, wp.addr, wp.data):
+            m.d.comb += port_sig.eq(expr())
+        m.d.comb += wp.en.eq(condition())
+        pool.append(crp.data)
+        pool.append(srp.data)
+
+    # A little more comb logic on top of the memory outputs.
+    for i in range(2):
+        sig = Signal(8, name=f"post{i}")
+        m.d.comb += sig.eq(expr())
+        pool.append(sig)
+
+    return m, inputs, memories
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_random_netlist_differential(seed):
+    """Lockstep poke/settle/tick on interp vs compiled, full-state checks."""
+    module, inputs, memories = _random_netlist(seed)
+    sim_i = Simulator(module, backend="interp")
+    sim_c = Simulator(module, backend="compiled")
+    assert isinstance(sim_c, CompiledSimulator)
+    rng = random.Random(seed + 1000)
+    _assert_state_parity(sim_i, sim_c, module, "initial")
+    for step in range(30):
+        for sig in inputs:
+            value = rng.getrandbits(sig.width)
+            sim_i.poke(sig, value)
+            sim_c.poke(sig, value)
+        action = rng.random()
+        if action < 0.4:
+            sim_i.settle()
+            sim_c.settle()
+        elif action < 0.5:
+            pass  # peek stale, un-settled state on both sides
+        else:
+            cycles = rng.randrange(1, 4)
+            sim_i.tick(cycles)
+            sim_c.tick(cycles)
+        _assert_state_parity(sim_i, sim_c, module, f"step {step}")
+
+
+def test_random_netlist_tracer_parity():
+    """Tracers fire at the same times and observe the same values."""
+    module, inputs, _ = _random_netlist(3)
+    sim_i = Simulator(module, backend="interp")
+    sim_c = Simulator(module, backend="compiled")
+    watch = _module_signals(module)
+    streams = {"i": [], "c": []}
+
+    def tracer(key):
+        return lambda time, sim: streams[key].append(
+            (time, tuple(sim.peek(sig) for sig in watch)))
+
+    sim_i.add_tracer(tracer("i"))
+    sim_c.add_tracer(tracer("c"))
+    rng = random.Random(99)
+    for _ in range(20):
+        for sig in inputs:
+            value = rng.getrandbits(sig.width)
+            sim_i.poke(sig, value)
+            sim_c.poke(sig, value)
+        sim_i.tick()
+        sim_c.tick()
+    assert streams["i"] == streams["c"]
+
+
+# --- signedness / reinterpret corners ---------------------------------------
+
+def test_signed_reinterpret_differential():
+    raw = Signal(8, name="raw")
+    out = Signal(16, name="out", signed=True)
+    shifted = Signal(16, name="shifted", signed=True)
+    m = Module("reint")
+    m.d.comb += out.eq(raw.as_signed())
+    m.d.comb += shifted.eq(raw.as_signed() >> 2)
+    sim_i = Simulator(m, backend="interp")
+    sim_c = Simulator(m, backend="compiled")
+    for value in (0, 1, 0x7F, 0x80, 0xFF):
+        sim_i.poke(raw, value)
+        sim_c.poke(raw, value)
+        sim_i.settle()
+        sim_c.settle()
+        for sig in (out, shifted):
+            assert sim_i.peek(sig) == sim_c.peek(sig), value
+            assert sim_i.peek_signed(sig) == sim_c.peek_signed(sig), value
+
+
+# --- backend selection & error paths -----------------------------------------
+
+def test_backend_selection():
+    a, out = Signal(8, name="a"), Signal(8, name="out")
+    m = Module()
+    m.d.comb += out.eq(a + 1)
+    assert Simulator(m).backend == "compiled"  # auto picks compiled
+    assert Simulator(m, backend="compiled").backend == "compiled"
+    assert Simulator(m, backend="interp").backend == "interp"
+    with pytest.raises(ValueError):
+        Simulator(m, backend="verilator")
+
+
+def _loop_module():
+    a, b = Signal(8, name="a"), Signal(8, name="b")
+    m = Module("loop")
+    m.d.comb += a.eq(b + 1)
+    m.d.comb += b.eq(a + 1)
+    return m, a, b
+
+
+def test_comb_loop_compiled_raises_compile_error():
+    m, _, _ = _loop_module()
+    with pytest.raises(CompileError) as excinfo:
+        Simulator(m, backend="compiled")
+    message = str(excinfo.value)
+    assert "a" in message and "b" in message and "cycle" in message
+
+
+def test_comb_loop_auto_falls_back_and_reports_path():
+    m, a, b = _loop_module()
+    with pytest.raises(CombLoopError) as excinfo:
+        Simulator(m)  # auto -> interp, which raises from the initial settle
+    err = excinfo.value
+    assert sorted(err.unstable) == ["a", "b"]
+    assert err.cycle and err.cycle[0] == err.cycle[-1]
+    assert "a" in str(err) and "b" in str(err)
+
+
+def test_guarded_pseudo_latch_falls_back_to_interp():
+    """A structural loop whose guard is never true: unschedulable by the
+    compiler, but the interpreter settles it — auto must pick interp."""
+    en = Signal(1, name="en")
+    a, b = Signal(8, name="a", reset=5), Signal(8, name="b")
+    m = Module("latchish")
+    with m.If(en):
+        m.d.comb += a.eq(b)
+        m.d.comb += b.eq(a)
+    sim = Simulator(m)
+    assert sim.backend == "interp"
+    sim.settle()
+    assert sim.peek(a) == 5
+
+
+def test_poke_driven_signal_rejected_both_backends():
+    a, out = Signal(8, name="a"), Signal(8, name="out")
+    reg = Signal(8, name="reg")
+    m = Module()
+    m.d.comb += out.eq(a + 1)
+    m.d.sync += reg.eq(a)
+    for backend in ("interp", "compiled"):
+        sim = Simulator(m, backend=backend)
+        sim.poke(a, 3)  # inputs are fine
+        for driven in (out, reg):
+            with pytest.raises(ValueError):
+                sim.poke(driven, 1)
+
+
+def test_comb_sync_conflict_rejected_both_backends():
+    sig = Signal(8, name="sig")
+    m = Module()
+    m.d.comb += sig.eq(1)
+    m.d.sync += sig.eq(2)
+    for backend in ("interp", "compiled"):
+        with pytest.raises(ValueError):
+            Simulator(m, backend=backend)
+
+
+def test_peek_and_poke_untouched_signal():
+    """Signals the program never saw still peek/poke sensibly (the ISA
+    adapter pokes rsp_ready even when a CFU ignores it)."""
+    a, out = Signal(8, name="a"), Signal(8, name="out")
+    stranger = Signal(4, name="stranger", reset=9)
+    m = Module()
+    m.d.comb += out.eq(a)
+    sim = Simulator(m, backend="compiled")
+    assert sim.peek(stranger) == 9
+    sim.poke(stranger, 0x13)  # masked to width
+    assert sim.peek(stranger) == 3
+
+
+# --- program cache & adapter reset -------------------------------------------
+
+def test_program_cache_is_per_module():
+    cfu = Mac4Rtl()
+    program = compile_module(cfu.module)
+    assert compile_module(cfu.module) is program
+    assert compile_module(Mac4Rtl().module) is not program
+    assert "def comb" in program.source and "def tick" in program.source
+    assert program.levels >= 1
+
+
+def test_adapter_reset_reuses_compiled_program():
+    cfu = KwsCfu2Rtl()
+    adapter = RtlCfuAdapter(cfu, backend="compiled")
+    program = adapter.sim.program
+    adapter.execute(km.F3_MAC4, 1, 0x01020304, 0x01010101)
+    adapter.reset()
+    assert adapter.sim.program is program
+    assert adapter.sim.backend == "compiled"
+
+
+@pytest.mark.parametrize("backend", ["interp", "compiled"])
+def test_adapter_reset_matches_fresh_adapter(backend):
+    """Post-reset behaviour is indistinguishable from a new adapter."""
+    seq = _kws_seq(random.Random(17))
+    used = RtlCfuAdapter(KwsCfu2Rtl(), backend=backend)
+    for op in seq[:30]:
+        used.execute(*op)
+    used.reset()
+    fresh = RtlCfuAdapter(KwsCfu2Rtl(), backend=backend)
+    for index, op in enumerate(seq):
+        assert used.execute(*op) == fresh.execute(*op), (index, op)

@@ -30,11 +30,13 @@ def make_abs_diff_if():
     return m, a, b, out
 
 
-def test_equivalent_implementations_pass():
+@pytest.mark.parametrize("backend", ["auto", "interp", "compiled"])
+def test_equivalent_implementations_pass(backend):
     m1, a1, b1, o1 = make_abs_diff_mux()
     m2, a2, b2, o2 = make_abs_diff_if()
     report = assert_modules_equivalent(
-        m1, m2, inputs=[(a1, a2), (b1, b2)], outputs=[(o1, o2)], cycles=100)
+        m1, m2, inputs=[(a1, a2), (b1, b2)], outputs=[(o1, o2)], cycles=100,
+        backend=backend)
     assert report.equivalent and report.cycles == 100
 
 
@@ -52,7 +54,8 @@ def test_divergent_implementations_caught():
                                   outputs=[(o1, o2)], cycles=100)
 
 
-def test_sequential_equivalence():
+@pytest.mark.parametrize("backend", ["interp", "compiled"])
+def test_sequential_equivalence(backend):
     def counter(step):
         m = Module()
         en = Signal(1, name="en")
@@ -64,12 +67,14 @@ def test_sequential_equivalence():
     m1, en1, v1 = counter(1)
     m2, en2, v2 = counter(1)
     report = check_equivalence(m1, m2, inputs=[(en1, en2)],
-                               outputs=[(v1, v2)], cycles=50, seed=3)
+                               outputs=[(v1, v2)], cycles=50, seed=3,
+                               backend=backend)
     assert report.equivalent
 
     m3, en3, v3 = counter(2)
     report = check_equivalence(m1, m3, inputs=[(en1, en3)],
-                               outputs=[(v1, v3)], cycles=50, seed=3)
+                               outputs=[(v1, v3)], cycles=50, seed=3,
+                               backend=backend)
     assert not report.equivalent
 
 

@@ -110,3 +110,77 @@ def test_report_renders():
     text = str(lint(m))
     assert "[unused] dead" in text
     assert str(lint(Module())) == "lint: clean"
+
+
+# --- static combinational-cycle detection ------------------------------------
+
+def test_find_comb_cycle_names_the_loop():
+    from repro.rtl import Signal, find_comb_cycle
+
+    a, b, c = (Signal(8, name=n) for n in "abc")
+    m = Module()
+    m.d.comb += a.eq(b + 1)
+    m.d.comb += b.eq(c + 1)
+    m.d.comb += c.eq(a + 1)
+    cycle = find_comb_cycle(m)
+    assert cycle is not None
+    assert cycle[0] is cycle[-1]
+    assert {sig.name for sig in cycle} == {"a", "b", "c"}
+
+
+def test_find_comb_cycle_sees_through_guards_and_memory_addresses():
+    from repro.rtl import Memory, Signal, find_comb_cycle
+
+    mem = Memory(8, 8, name="buf")
+    rp = mem.read_port("comb")
+    x = Signal(8, name="x")
+    m = Module()
+    m.add_memory(mem)
+    m.d.comb += rp.addr.eq(x[0:3])   # address depends on x ...
+    m.d.comb += x.eq(rp.data)        # ... and x depends on the read data
+    cycle = find_comb_cycle(m)
+    assert cycle is not None
+    names = {sig.name for sig in cycle}
+    assert "x" in names
+
+
+def test_find_comb_cycle_clean_on_acyclic_module():
+    from repro.rtl import find_comb_cycle
+
+    assert find_comb_cycle(KwsCfu2Rtl().module) is None
+
+
+def test_self_dependency_is_a_cycle():
+    from repro.rtl import Signal, find_comb_cycle
+
+    s = Signal(8, name="s")
+    m = Module()
+    m.d.comb += s.eq(s + 1)
+    cycle = find_comb_cycle(m)
+    assert cycle is not None
+    assert [sig.name for sig in cycle] == ["s", "s"]
+
+
+def test_lint_reports_comb_loop():
+    from repro.rtl import Signal
+
+    a, b = Signal(8, name="a"), Signal(8, name="b")
+    m = Module()
+    m.d.comb += a.eq(b)
+    m.d.comb += b.eq(a)
+    report = lint(m, inputs=[a, b])
+    warnings = report.of_kind("comb-loop")
+    assert warnings
+    assert "->" in warnings[0].detail
+
+
+def test_lint_no_comb_loop_on_registered_feedback():
+    from repro.rtl import Signal
+
+    acc = Signal(8, name="acc")
+    nxt = Signal(8, name="nxt")
+    m = Module()
+    m.d.comb += nxt.eq(acc + 1)   # comb reads the register ...
+    m.d.sync += acc.eq(nxt)       # ... which updates on the clock edge
+    report = lint(m, inputs=[acc, nxt])
+    assert not report.of_kind("comb-loop")
