@@ -65,6 +65,63 @@ class CfuModel:
         return ResourceReport()
 
 
+class MeteredCfu:
+    """Transparent CFU wrapper that meters the custom-instruction stream.
+
+    Wraps any executable CFU (a :class:`CfuModel` or an RTL adapter) and
+    counts per-(funct3, funct7) invocations plus the cycles the CFU kept
+    the CPU waiting — the data behind the "is the accelerator actually
+    busy?" question in the profile step.  Results and latencies pass
+    through untouched, so a metered run is cycle-identical to a bare
+    one.
+    """
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.invocations = {}       # (funct3, funct7) -> count
+        self.busy_cycles = 0
+
+    @property
+    def name(self):
+        return f"{getattr(self.inner, 'name', 'cfu')} (metered)"
+
+    def execute(self, funct3, funct7, a, b):
+        result, latency = self.inner.execute(funct3, funct7, a, b)
+        key = (funct3 & 0x7, funct7 & 0x7F)
+        self.invocations[key] = self.invocations.get(key, 0) + 1
+        self.busy_cycles += latency
+        return result, latency
+
+    def reset(self):
+        """Reset the CFU's architectural state; counters are kept (use
+        :meth:`clear` to zero them)."""
+        self.inner.reset()
+
+    def clear(self):
+        self.invocations = {}
+        self.busy_cycles = 0
+
+    def resources(self):
+        return self.inner.resources()
+
+    @property
+    def total_invocations(self):
+        return sum(self.invocations.values())
+
+    def occupancy(self, total_cycles):
+        """Fraction of a run the CFU spent executing."""
+        return self.busy_cycles / total_cycles if total_cycles else 0.0
+
+    def export_metrics(self, registry, **labels):
+        """Feed invocation counts and busy cycles into a
+        :class:`~repro.core.metrics.MetricsRegistry`."""
+        for (funct3, funct7) in sorted(self.invocations):
+            registry.counter("cfu_invocations", funct3=funct3, funct7=funct7,
+                             **labels).add(self.invocations[(funct3, funct7)])
+        registry.counter("cfu_busy_cycles", **labels).add(int(self.busy_cycles))
+        return registry
+
+
 class NullCfu(CfuModel):
     """A CFU that rejects every operation (no CFU attached)."""
 

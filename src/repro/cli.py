@@ -44,7 +44,22 @@ def _cmd_build(args):
 def _cmd_profile(args):
     from .core.project import load_project
 
-    estimate = load_project(args.project).profile()
+    project = load_project(args.project)
+    if args.simulate:
+        sim = project.profile(simulate=True, budget=args.budget)
+        print(sim.summary())
+        if args.folded_out:
+            count = sim.export_folded(args.folded_out)
+            print(f"wrote {count} folded stacks to {args.folded_out}")
+        if args.metrics_out:
+            from .core.metrics import MetricsRegistry
+
+            registry = MetricsRegistry()
+            sim.export_metrics(registry, project=args.project)
+            count = registry.export_json(args.metrics_out)
+            print(f"wrote {count} metric series to {args.metrics_out}")
+        return 0
+    estimate = project.profile()
     print(estimate.summary(split_conv_1x1=True))
     if args.per_op:
         print(estimate.per_op_table())
@@ -156,6 +171,17 @@ def build_parser():
     profile = sub.add_parser("profile", help="profile a project")
     profile.add_argument("project")
     profile.add_argument("--per-op", action="store_true")
+    profile.add_argument("--simulate", action="store_true",
+                         help="cross-validate the estimate on the ISA "
+                              "simulator (drift-checked)")
+    profile.add_argument("--budget", type=int, default=None,
+                         help="simulated instructions per opcode class")
+    profile.add_argument("--folded-out", default=None,
+                         help="write flamegraph folded stacks here "
+                              "(with --simulate)")
+    profile.add_argument("--metrics-out", default=None,
+                         help="write a metrics JSON snapshot here "
+                              "(with --simulate)")
     profile.set_defaults(func=_cmd_profile)
 
     golden = sub.add_parser("golden", help="run a project's golden test")

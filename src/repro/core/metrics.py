@@ -1,0 +1,252 @@
+"""Labelled metrics: counters, gauges, histograms — mergeable across workers.
+
+The observability companion to :mod:`repro.core.tracing`: where the
+tracer records *when* things happened (spans on a clock), the metrics
+registry records *how much* happened (monotonic counters, last-value
+gauges, distribution histograms), keyed by name + sorted label set so
+series from different subsystems never collide.
+
+Every producer in the stack feeds the same registry:
+
+- the ISA machine exports its instruction mix and decode-cache health
+  (:meth:`repro.cpu.machine.Machine.export_metrics`);
+- the timing model's trace-driven caches export i/d-cache hit counters;
+- the SoC bus exports per-region read/write traffic
+  (:meth:`repro.soc.bus.SocBus.export_metrics`);
+- the CFU adapters export per-opcode invocation counts and occupancy
+  (:class:`repro.cfu.interface.MeteredCfu`);
+- the TFLM interpreter exports per-operator cycles
+  (:func:`repro.tflm.interpreter.metrics_listener`).
+
+Registries snapshot to plain JSON-serializable dicts and merge
+associatively, so DSE workers can each collect locally and the parent
+can fold the results together (the same pattern the evaluation cache
+uses for results).
+"""
+
+from __future__ import annotations
+
+import json
+
+METRICS_SCHEMA_VERSION = 1
+
+#: Default histogram bucket upper bounds (cycles-ish magnitudes).
+DEFAULT_BUCKETS = (1, 10, 100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000)
+
+
+def _label_key(labels):
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing tally."""
+
+    kind = "counter"
+
+    def __init__(self, name, labels=()):
+        self.name = name
+        self.labels = tuple(labels)
+        self.value = 0
+
+    def add(self, amount=1):
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease by {amount}")
+        self.value += amount
+        return self.value
+
+    def inc(self):
+        return self.add(1)
+
+    def _merge(self, other):
+        self.value += other.value
+
+    def _state(self):
+        return {"value": self.value}
+
+    def _restore(self, state):
+        self.value = state["value"]
+
+
+class Gauge:
+    """A last-value-wins measurement."""
+
+    kind = "gauge"
+
+    def __init__(self, name, labels=()):
+        self.name = name
+        self.labels = tuple(labels)
+        self.value = 0
+
+    def set(self, value):
+        self.value = value
+        return self.value
+
+    def _merge(self, other):
+        self.value = other.value
+
+    def _state(self):
+        return {"value": self.value}
+
+    def _restore(self, state):
+        self.value = state["value"]
+
+
+class Histogram:
+    """A bucketed distribution (cumulative counts per upper bound)."""
+
+    kind = "histogram"
+
+    def __init__(self, name, labels=(), buckets=DEFAULT_BUCKETS):
+        self.name = name
+        self.labels = tuple(labels)
+        self.buckets = tuple(sorted(buckets))
+        self.counts = [0] * (len(self.buckets) + 1)  # last = +inf overflow
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value):
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[index] += 1
+                break
+        else:
+            self.counts[-1] += 1
+        self.total += value
+        self.count += 1
+        return self.count
+
+    @property
+    def mean(self):
+        return self.total / self.count if self.count else 0.0
+
+    def _merge(self, other):
+        if other.buckets != self.buckets:
+            raise ValueError(
+                f"histogram {self.name}: bucket bounds differ "
+                f"({self.buckets} vs {other.buckets})")
+        for index, count in enumerate(other.counts):
+            self.counts[index] += count
+        self.total += other.total
+        self.count += other.count
+
+    def _state(self):
+        return {"buckets": list(self.buckets), "counts": list(self.counts),
+                "total": self.total, "count": self.count}
+
+    def _restore(self, state):
+        self.buckets = tuple(state["buckets"])
+        self.counts = list(state["counts"])
+        self.total = state["total"]
+        self.count = state["count"]
+
+
+_KINDS = {cls.kind: cls for cls in (Counter, Gauge, Histogram)}
+
+
+class MetricsRegistry:
+    """Get-or-create home for every metric series of one run."""
+
+    def __init__(self):
+        self._series = {}
+
+    # --- creation ----------------------------------------------------------------
+    def _get(self, cls, name, labels, **kwargs):
+        key = (name, _label_key(labels))
+        series = self._series.get(key)
+        if series is None:
+            series = cls(name, labels=key[1], **kwargs)
+            self._series[key] = series
+        elif not isinstance(series, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {series.kind}, "
+                f"not {cls.kind}")
+        return series
+
+    def counter(self, name, **labels):
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name, **labels):
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name, buckets=DEFAULT_BUCKETS, **labels):
+        return self._get(Histogram, name, labels, buckets=buckets)
+
+    # --- access ------------------------------------------------------------------
+    def value(self, name, **labels):
+        """The current value of a counter/gauge (KeyError if absent)."""
+        return self._series[(name, _label_key(labels))].value
+
+    def series(self):
+        """Every metric, deterministically ordered by (name, labels)."""
+        return [self._series[key] for key in sorted(self._series)]
+
+    def __len__(self):
+        return len(self._series)
+
+    def __contains__(self, name):
+        return any(key[0] == name for key in self._series)
+
+    # --- merge & snapshot (the DSE-worker protocol) --------------------------------
+    def merge(self, other):
+        """Fold another registry into this one (counters/histograms add,
+        gauges take the incoming value).  Associative, so worker results
+        can be reduced in any grouping."""
+        for key in sorted(other._series):
+            theirs = other._series[key]
+            key_labels = dict(theirs.labels)
+            if isinstance(theirs, Histogram):
+                mine = self.histogram(theirs.name, buckets=theirs.buckets,
+                                      **key_labels)
+            elif isinstance(theirs, Gauge):
+                mine = self.gauge(theirs.name, **key_labels)
+            else:
+                mine = self.counter(theirs.name, **key_labels)
+            mine._merge(theirs)
+        return self
+
+    def snapshot(self):
+        """A plain-dict snapshot (JSON-serializable, schema-versioned)."""
+        return {
+            "schema": METRICS_SCHEMA_VERSION,
+            "series": [
+                {"name": series.name, "labels": list(series.labels),
+                 "kind": series.kind, **series._state()}
+                for series in self.series()
+            ],
+        }
+
+    @classmethod
+    def from_snapshot(cls, data):
+        if data.get("schema") != METRICS_SCHEMA_VERSION:
+            raise ValueError(f"unsupported metrics schema {data.get('schema')!r}")
+        registry = cls()
+        for item in data["series"]:
+            series_cls = _KINDS[item["kind"]]
+            series = series_cls(item["name"],
+                                labels=tuple(tuple(p) for p in item["labels"]))
+            series._restore(item)
+            registry._series[(series.name, series.labels)] = series
+        return registry
+
+    def export_json(self, path):
+        """Write the snapshot as JSON; returns the series count."""
+        snapshot = self.snapshot()
+        with open(path, "w") as handle:
+            json.dump(snapshot, handle, sort_keys=True, indent=1)
+            handle.write("\n")
+        return len(snapshot["series"])
+
+    # --- human summary ----------------------------------------------------------
+    def summary(self):
+        lines = [f"metrics: {len(self._series)} series"]
+        for series in self.series():
+            labels = ",".join(f"{k}={v}" for k, v in series.labels)
+            tag = f"{series.name}{{{labels}}}" if labels else series.name
+            if isinstance(series, Histogram):
+                lines.append(f"  {tag:48s} n={series.count} "
+                             f"mean={series.mean:,.1f}")
+            else:
+                value = series.value
+                shown = f"{value:,}" if isinstance(value, int) else f"{value:,.2f}"
+                lines.append(f"  {tag:48s} {shown}")
+        return "\n".join(lines)

@@ -120,17 +120,39 @@ class Playground:
             return BuildReport(fit=fit_result, layout=layout,
                                estimate=self.profile())
 
-    def profile(self, checkpoint=None):
-        """Per-operator cycle attribution; the paper's 'Profile' step."""
+    def profile(self, checkpoint=None, simulate=False, budget=None,
+                min_share=0.02, drift_band=None):
+        """Per-operator cycle attribution; the paper's 'Profile' step.
+
+        With ``simulate=True`` the analytic estimate is cross-validated
+        on the ISA simulator (:mod:`repro.core.simprofile`): each
+        dominant opcode class's cost trace is synthesized into ~``budget``
+        instructions of real firmware, run cycle-modelled, and the
+        estimate rescaled by the measured drift — raising
+        :exc:`~repro.core.simprofile.ProfileDriftError` if estimator and
+        simulator disagree beyond ``drift_band``.  Returns a
+        :class:`~repro.core.simprofile.SimulatedProfile` in that case.
+        """
         with self.tracer.span("profile", model=self.model.name,
-                              checkpoint=checkpoint) as span:
+                              checkpoint=checkpoint, simulate=simulate) as span:
             estimate = estimate_inference(self.model, self.system(),
                                           self.variants, tracer=self.tracer)
             span.attrs["cycles"] = estimate.total_cycles
+            if simulate:
+                from .simprofile import (DEFAULT_BUDGET, DEFAULT_DRIFT_BAND,
+                                         simulate_profile)
+                result = simulate_profile(
+                    self, budget=budget or DEFAULT_BUDGET,
+                    min_share=min_share,
+                    drift_band=drift_band or DEFAULT_DRIFT_BAND,
+                    estimate=estimate)
+                span.attrs["simulated_cycles"] = result.total_cycles
+                span.attrs["drift"] = round(result.drift, 4)
         self.tracer.count("profile")
+        result = result if simulate else estimate
         if checkpoint:
-            self.history.append((checkpoint, estimate.total_cycles))
-        return estimate
+            self.history.append((checkpoint, result.total_cycles))
+        return result
 
     def fit(self):
         return fit(self.board, self.soc.resources(), self.cfu_resources)

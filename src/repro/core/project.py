@@ -115,8 +115,8 @@ class Project:
     def golden_test(self):
         return self.playground.golden_test()
 
-    def profile(self):
-        return self.playground.profile()
+    def profile(self, **kwargs):
+        return self.playground.profile(**kwargs)
 
 
 def _kws_cpu():

@@ -78,9 +78,19 @@ class Tracer:
 
     def record_span(self, name, duration, **attrs):
         """Record an externally-timed span (e.g. measured in a worker
-        process) as ending now."""
-        span = Span(name=name, start=max(0.0, self.now() - duration),
+        process) as ending now.
+
+        A worker-measured duration can exceed this tracer's lifetime
+        (the work started before the tracer's epoch).  The start is
+        floored at the epoch, but the true duration is preserved and the
+        record is marked ``clamped`` so consumers can tell the start
+        time is approximate rather than silently mis-dated.
+        """
+        start = self.now() - duration
+        span = Span(name=name, start=max(0.0, start),
                     duration=duration, attrs=dict(attrs))
+        if start < 0.0:
+            span.attrs["clamped"] = True
         self._finish(span)
         return span
 

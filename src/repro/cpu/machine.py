@@ -153,6 +153,31 @@ _BRANCH_KINDS = {0: _K_BEQ, 1: _K_BNE, 4: _K_BLT, 5: _K_BGE,
                  6: _K_BLTU, 7: _K_BGEU}
 
 
+def classify_kind(kind):
+    """Instruction-mix class of a dispatch kind (profiler/metrics view)."""
+    if kind <= _K_CONST:
+        return "alu"
+    if kind < _K_MUL:
+        return "shift"
+    if kind < _K_DIV:
+        return "mul"
+    if kind < 28:
+        return "div"
+    if kind < 40:
+        return "load"
+    if kind < 64:
+        return "store"
+    if kind < _K_JAL:
+        return "branch"
+    if kind < _K_CFU:
+        return "jump"
+    if kind == _K_CFU:
+        return "cfu"
+    if kind == _K_RAISE:
+        return "unknown"
+    return "system"
+
+
 def _hazard_reads(ins):
     """Registers the incoming instruction reads, per the interlock rule
     in :meth:`Machine._hazard_stall` (must match it exactly)."""
@@ -315,6 +340,29 @@ class Machine:
         self.decode_count += 1
         return op
 
+    # --- observability --------------------------------------------------------------
+    def export_metrics(self, registry, **labels):
+        """Feed the machine's counters into a
+        :class:`~repro.core.metrics.MetricsRegistry`: retired
+        instructions and cycles, decode-cache health, and the timing
+        model's trace-driven i/d-cache hit/miss counts."""
+        registry.counter("sim_instructions", **labels).add(self.instret)
+        registry.counter("sim_cycles", **labels).add(self.cycles)
+        registry.counter("sim_decodes", **labels).add(self.decode_count)
+        registry.counter("sim_decode_invalidations",
+                         **labels).add(self.invalidation_count)
+        registry.gauge("sim_decode_cache_entries",
+                       **labels).set(self.decode_cache_entries)
+        if self.timing is not None:
+            for cache in (self.timing.icache, self.timing.dcache):
+                if cache is None:
+                    continue
+                registry.counter("sim_cache_hits", cache=cache.name,
+                                 **labels).add(cache.hits)
+                registry.counter("sim_cache_misses", cache=cache.name,
+                                 **labels).add(cache.misses)
+        return registry
+
     # --- program loading -----------------------------------------------------------
     def load_program(self, code, addr=0):
         self.memory.load_bytes(addr, code)
@@ -359,10 +407,20 @@ class Machine:
             raise RuntimeError(f"instruction budget exhausted at pc=0x{self.pc:08x}")
         return self.exit_code
 
-    def _run_fast(self, max_instructions):
+    def _run_fast(self, max_instructions, profile=None):
         """The fast path: cached decode + pre-specialized dispatch with
         hot state in locals.  Bit-identical to the ``step()`` loop,
-        timing model and CFU included."""
+        timing model and CFU included.
+
+        ``profile`` (a :class:`~repro.cpu.profiler.MachineProfiler`, or
+        anything exposing ``pc_buckets``/``bucket_for_pc``) enables
+        in-loop cycle attribution: every cycle spent between two
+        dispatches — fetch stalls, hazard interlocks, and execution cost
+        alike — is charged to the pc that was dispatched, exactly as the
+        reference ``step()``-based profiler attributes it.  A faulting
+        instruction's partial cycles stay unattributed on both paths.
+        The cost when profiling is one dict lookup per instruction; when
+        not profiling, a single local-bool branch."""
         memory = self.memory
         regs = self.regs
         timing = self.timing
@@ -389,11 +447,28 @@ class Machine:
         pending_is_load = self._pending_is_load
         halted = self.halted
         executed = 0
+        profiling = profile is not None
+        if profiling:
+            buckets_get = profile.pc_buckets.get
+            new_bucket = profile.bucket_for_pc
+        last_pc = 0
+        last_cycles = cycles
+        pending = False
         try:
             while executed < max_instructions and not halted:
                 op = cache_get(pc)
                 if op is None:
                     op = decode_pc(pc)
+                if profiling:
+                    if pending:
+                        bucket = buckets_get(last_pc)
+                        if bucket is None:
+                            bucket = new_bucket(last_pc)
+                        bucket[0] += cycles - last_cycles
+                        bucket[1] += 1
+                    last_pc = pc
+                    last_cycles = cycles
+                    pending = True
                 k = op[0]
                 if timed:
                     cycles += timing.fetch(pc)
@@ -681,6 +756,16 @@ class Machine:
                     executed += 1
                     continue
                 raise RuntimeError(op[3])  # _K_RAISE
+            # Attribute the final instruction.  This sits inside the
+            # try (not the finally) on purpose: a faulting instruction
+            # never reaches here, matching the reference profiler where
+            # a raising step() is not attributed either.
+            if profiling and pending:
+                bucket = buckets_get(last_pc)
+                if bucket is None:
+                    bucket = new_bucket(last_pc)
+                bucket[0] += cycles - last_cycles
+                bucket[1] += 1
         except BaseException:
             # step() clears the hazard bookkeeping before dispatch, so a
             # faulting instruction leaves no pending writeback behind.

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import time
 
-from ..cfu.interface import CfuModel
+from ..cfu.interface import CfuModel, MeteredCfu
 from ..cfu.rtl import RtlCfu, RtlCfuAdapter
 from ..cpu.assembler import assemble
 from ..cpu.machine import Machine
@@ -34,7 +34,8 @@ class Emulator:
         if isinstance(cfu, RtlCfu):
             # cycle-accurate gateware simulation
             cfu = RtlCfuAdapter(cfu, backend=rtl_backend)
-        if cfu is not None and not isinstance(cfu, (CfuModel, RtlCfuAdapter)):
+        if cfu is not None and not isinstance(
+                cfu, (CfuModel, RtlCfuAdapter, MeteredCfu)):
             raise TypeError("cfu must be a CfuModel or RtlCfu(-Adapter)")
         self.cfu = cfu
         self.tracer = tracer
@@ -82,6 +83,34 @@ class Emulator:
                 span.attrs["cache_invalidations"] = (
                     machine.invalidation_count - invalidations0)
                 self.tracer.count("sim_instructions", instructions)
+
+    def profile(self, symbols, max_instructions=5_000_000, fast=True):
+        """Run the loaded program under the cycle profiler.
+
+        ``symbols`` is the name->address table :meth:`load_assembly`
+        returned.  Returns the :class:`~repro.cpu.profiler.Profile`;
+        records a ``sim_profile`` span when a tracer is attached.
+        """
+        from ..cpu.profiler import MachineProfiler
+
+        profiler = MachineProfiler(self.machine, symbols)
+        if self.tracer is None:
+            return profiler.run(max_instructions, fast=fast)
+        with self.tracer.span("sim_profile", fast=fast) as span:
+            profile = profiler.run(max_instructions, fast=fast)
+            span.attrs["cycles"] = profile.total_cycles
+            span.attrs["symbols"] = len(profile.entries)
+            span.attrs["truncated"] = profile.truncated
+            return profile
+
+    def export_metrics(self, registry, **labels):
+        """Feed machine, bus, and CFU counters into a
+        :class:`~repro.core.metrics.MetricsRegistry` in one call."""
+        self.machine.export_metrics(registry, **labels)
+        self.bus.export_metrics(registry, **labels)
+        if isinstance(self.cfu, MeteredCfu):
+            self.cfu.export_metrics(registry, **labels)
+        return registry
 
     @property
     def cycles(self):

@@ -90,6 +90,14 @@ class CostContext:
         self.code_section = code_section
         self.instructions = 0.0
         self.breakdown = CostBreakdown()
+        #: Primitive-call trace: one tuple per primitive invocation
+        #: (``("mul", n)``, ``("load", n, size, section, pattern,
+        #: footprint)``, ...).  The simulation-backed profiler
+        #: (:mod:`repro.core.simprofile`) replays this trace as real
+        #: RV32IM firmware to cross-validate the analytic model against
+        #: the instruction-level simulator.  Soft-emulated primitives
+        #: (mul without a multiplier) trace as their expansion.
+        self.trace = []
         cpu = system.cpu
         # Interlock penalty folded in per instruction class: a CPU without
         # operand bypassing stalls on most back-to-back dependencies.
@@ -98,6 +106,7 @@ class CostContext:
 
     # --- compute primitives ------------------------------------------------------
     def alu(self, n=1):
+        self.trace.append(("alu", n))
         self.instructions += n
         self.breakdown.compute += n * (1 + self._dep_stall)
 
@@ -112,6 +121,7 @@ class CostContext:
             self.alu(n * 40)
             self.branch(n * 8, taken=0.5, predictable=False)
             return
+        self.trace.append(("mul", n))
         self.instructions += n
         self.breakdown.compute += n * (per + self._dep_stall)
 
@@ -119,12 +129,14 @@ class CostContext:
         cpu = self.system.cpu
         per = (ITERATIVE_DIV_CYCLES if cpu.divider == "iterative"
                else SOFT_DIV_CYCLES)
+        self.trace.append(("div", n))
         self.instructions += n
         self.breakdown.compute += n * per
 
     def shift(self, n=1, amount=8):
         cpu = self.system.cpu
         per = 1 if cpu.shifter == "barrel" else 1 + amount
+        self.trace.append(("shift", n, amount))
         self.instructions += n
         self.breakdown.compute += n * (per + self._dep_stall)
 
@@ -147,11 +159,13 @@ class CostContext:
             mispredict_rate = 0.05 if predictable else 0.25
             redirect = 0.0
         per = 1 + mispredict_rate * penalty + redirect
+        self.trace.append(("branch", n, taken, predictable))
         self.instructions += n
         self.breakdown.control += n * per
 
     def call(self, n=1):
         """A function call + return pair (jal/jalr bubbles included)."""
+        self.trace.append(("call", n))
         self.instructions += 2 * n
         self.breakdown.control += n * 5
 
@@ -164,12 +178,14 @@ class CostContext:
         ``footprint`` (bytes) enables the capacity estimate: a loop whose
         working set fits in the data cache stops missing.
         """
+        self.trace.append(("load", n, size, section, pattern, footprint))
         self.instructions += n
         self.breakdown.memory += n * (1 + self._load_use)
         self.breakdown.memory += self._miss_cycles(n, size, section, pattern,
                                                    footprint)
 
     def store(self, n, size=1, section="arena", pattern="seq"):
+        self.trace.append(("store", n, size, section))
         self.instructions += n
         region = self.system.region(section)
         cpu = self.system.cpu
@@ -209,11 +225,13 @@ class CostContext:
         """``n`` custom instructions with given latency / initiation interval."""
         if ii is None:
             ii = latency
+        self.trace.append(("cfu", n, latency, ii))
         self.instructions += n
         self.breakdown.cfu += n * max(ii, 1) + max(0, latency - ii)
 
     def cfu_busy(self, cycles):
         """CPU waits while the CFU runs autonomously (blocking run)."""
+        self.trace.append(("cfu_busy", cycles))
         self.breakdown.cfu += cycles
 
     #: Snapshot of the most recently finished context (single-threaded
@@ -222,6 +240,8 @@ class CostContext:
     #: per-category split without changing the variant protocol).
     last_breakdown = None
     last_instructions = 0.0
+    last_trace = ()
+    last_code_section = "kernel_text"
 
     # --- finalization ------------------------------------------------------------
     def finish(self, loop_footprint_bytes=256):
@@ -244,6 +264,8 @@ class CostContext:
         self.breakdown.fetch += self.instructions * per_instr
         CostContext.last_breakdown = self.breakdown
         CostContext.last_instructions = self.instructions
+        CostContext.last_trace = tuple(self.trace)
+        CostContext.last_code_section = self.code_section
         return self.breakdown.total
 
     @property

@@ -22,6 +22,8 @@ class OpCost:
     macs: int
     breakdown: object = None      # CostBreakdown of the variant's context
     instructions: float = 0.0
+    trace: tuple = ()             # CostContext primitive-call trace
+    code_section: str = "kernel_text"
 
     @property
     def cycles_per_mac(self):
@@ -36,6 +38,8 @@ class InferenceEstimate:
     system: object
     op_costs: list = field(default_factory=list)
     overhead_cycles: float = 0.0
+    overhead_trace: tuple = ()
+    overhead_instructions: float = 0.0
 
     @property
     def total_cycles(self):
@@ -143,9 +147,13 @@ def estimate_inference(model, system, variants=None, overhead=None,
             cycles=cycles, macs=op.macs,
             breakdown=CostContext.last_breakdown,
             instructions=CostContext.last_instructions,
+            trace=CostContext.last_trace,
+            code_section=CostContext.last_code_section,
         ))
         if op.opcode == "CONV_2D" and op.params.get("kernel") == (1, 1):
             names_1x1.add(op.name)
     estimate.overhead_cycles = overhead.cycles(model, system)
+    estimate.overhead_trace = CostContext.last_trace
+    estimate.overhead_instructions = CostContext.last_instructions
     estimate._names_1x1 = frozenset(names_1x1)
     return estimate

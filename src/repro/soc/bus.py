@@ -34,9 +34,9 @@ class SocBus:
     """Decodes addresses to RAM backings or the CSR bank.
 
     Address decode is cached per 4 KiB page: pages that lie entirely
-    inside one RAM region resolve to ``(backing, region_base)`` through
-    a dict lookup instead of a linear region scan plus CSR-range check
-    on every access.  Pages overlapping the CSR window or a region
+    inside one RAM region resolve to ``(backing, region_base, name)``
+    through a dict lookup instead of a linear region scan plus CSR-range
+    check on every access.  Pages overlapping the CSR window or a region
     boundary are never cached and always take the full decode path, so
     peripheral side effects and bus errors behave exactly as before.
     """
@@ -49,6 +49,10 @@ class SocBus:
             for region in memory_map
         }
         self._page_cache = {}
+        # Per-region traffic accounting: (region, "read"|"write") ->
+        # [transactions, bytes].  None (default) keeps the hot paths to
+        # a single is-None branch; enable_traffic_metrics() turns it on.
+        self._traffic = None
         if csr_bank is None:
             self._csr_window = None
         else:
@@ -64,6 +68,37 @@ class SocBus:
     def backing(self, name):
         return self.backings[name]
 
+    # --- traffic metrics ---------------------------------------------------------
+    def enable_traffic_metrics(self):
+        """Start counting per-region read/write transactions and bytes."""
+        if self._traffic is None:
+            self._traffic = {}
+        return self
+
+    def _count(self, region_name, direction, nbytes):
+        traffic = self._traffic
+        cell = traffic.get((region_name, direction))
+        if cell is None:
+            cell = traffic[(region_name, direction)] = [0, 0]
+        cell[0] += 1
+        cell[1] += nbytes
+
+    def traffic(self):
+        """``{(region, direction): (transactions, bytes)}`` so far."""
+        if self._traffic is None:
+            return {}
+        return {key: tuple(value) for key, value in self._traffic.items()}
+
+    def export_metrics(self, registry, **labels):
+        """Feed the traffic counters into a
+        :class:`~repro.core.metrics.MetricsRegistry`."""
+        for (region, direction), (count, nbytes) in sorted(self.traffic().items()):
+            registry.counter("bus_transactions", region=region,
+                             direction=direction, **labels).add(count)
+            registry.counter("bus_bytes", region=region,
+                             direction=direction, **labels).add(nbytes)
+        return registry
+
     def load_bytes(self, addr, blob):
         backing, offset = self._locate(addr)
         backing.data[offset:offset + len(blob)] = blob
@@ -73,8 +108,8 @@ class SocBus:
         return self.backings[region.name], addr - region.base
 
     def _resolve_page(self, addr):
-        """Cache and return ``(backing, base)`` for addr's page, or None
-        when the page must use the slow path."""
+        """Cache and return ``(backing, base, region_name)`` for addr's
+        page, or None when the page must use the slow path."""
         page = addr >> _PAGE_BITS
         lo = page << _PAGE_BITS
         hi = lo + (1 << _PAGE_BITS)
@@ -84,7 +119,7 @@ class SocBus:
                 return None
         region = self.memory_map.find(addr)
         if region.base <= lo and hi <= region.end:
-            entry = (self.backings[region.name], region.base)
+            entry = (self.backings[region.name], region.base, region.name)
             self._page_cache[page] = entry
             return entry
         return None
@@ -94,29 +129,41 @@ class SocBus:
         entry = (self._page_cache.get(addr >> _PAGE_BITS)
                  or self._resolve_page(addr))
         if entry is not None:
-            backing, base = entry
+            backing, base, name = entry
+            if self._traffic is not None:
+                self._count(name, "read", 1)
             return backing.data[addr - base]
         if self.csr_bank is not None and self.csr_bank.contains(addr):
+            if self._traffic is not None:
+                self._count("csr", "read", 1)
             word = self.csr_bank.read32(addr & ~3)
             return (word >> (8 * (addr & 3))) & 0xFF
         backing, offset = self._locate(addr)
+        if self._traffic is not None:
+            self._count(backing.region.name, "read", 1)
         return backing.data[offset]
 
     def write8(self, addr, value):
         entry = (self._page_cache.get(addr >> _PAGE_BITS)
                  or self._resolve_page(addr))
         if entry is not None:
-            backing, base = entry
+            backing, base, name = entry
             if not backing.writable:
                 raise BusError(f"write to read-only region at 0x{addr:08x}")
+            if self._traffic is not None:
+                self._count(name, "write", 1)
             backing.data[addr - base] = value & 0xFF
             return
         if self.csr_bank is not None and self.csr_bank.contains(addr):
+            if self._traffic is not None:
+                self._count("csr", "write", 1)
             self.csr_bank.write32(addr & ~3, value & 0xFF)
             return
         backing, offset = self._locate(addr)
         if not backing.writable:
             raise BusError(f"write to read-only region at 0x{addr:08x}")
+        if self._traffic is not None:
+            self._count(backing.region.name, "write", 1)
         backing.data[offset] = value & 0xFF
 
     def read16(self, addr):
@@ -130,16 +177,22 @@ class SocBus:
         entry = (self._page_cache.get(addr >> _PAGE_BITS)
                  or self._resolve_page(addr))
         if entry is not None:
-            backing, base = entry
+            backing, base, name = entry
             offset = addr - base
             data = backing.data
             if offset + 4 <= len(data):
+                if self._traffic is not None:
+                    self._count(name, "read", 4)
                 return int.from_bytes(data[offset:offset + 4], "little")
             return self.read16(addr) | self.read16(addr + 2) << 16
         if self.csr_bank is not None and self.csr_bank.contains(addr):
+            if self._traffic is not None:
+                self._count("csr", "read", 4)
             return self.csr_bank.read32(addr & ~3)
         backing, offset = self._locate(addr)
         if offset + 4 <= len(backing.data):
+            if self._traffic is not None:
+                self._count(backing.region.name, "read", 4)
             return int.from_bytes(backing.data[offset:offset + 4], "little")
         return self.read16(addr) | self.read16(addr + 2) << 16
 
@@ -147,24 +200,30 @@ class SocBus:
         entry = (self._page_cache.get(addr >> _PAGE_BITS)
                  or self._resolve_page(addr))
         if entry is not None:
-            backing, base = entry
+            backing, base, name = entry
             if not backing.writable:
                 raise BusError(f"write to read-only region at 0x{addr:08x}")
             offset = addr - base
             data = backing.data
             if offset + 4 <= len(data):
+                if self._traffic is not None:
+                    self._count(name, "write", 4)
                 data[offset:offset + 4] = (value & 0xFFFFFFFF).to_bytes(4, "little")
             else:
                 self.write16(addr, value)
                 self.write16(addr + 2, value >> 16)
             return
         if self.csr_bank is not None and self.csr_bank.contains(addr):
+            if self._traffic is not None:
+                self._count("csr", "write", 4)
             self.csr_bank.write32(addr & ~3, value & 0xFFFFFFFF)
             return
         backing, offset = self._locate(addr)
         if not backing.writable:
             raise BusError(f"write to read-only region at 0x{addr:08x}")
         if offset + 4 <= len(backing.data):
+            if self._traffic is not None:
+                self._count(backing.region.name, "write", 4)
             backing.data[offset:offset + 4] = (value & 0xFFFFFFFF).to_bytes(4, "little")
         else:
             self.write16(addr, value)

@@ -137,6 +137,34 @@ def reference_registry():
     })
 
 
+def metrics_listener(registry, estimate=None, **labels):
+    """Build an interpreter listener that feeds per-operator metrics.
+
+    Counts invocations and output elements per operator into ``registry``
+    (a :class:`~repro.core.metrics.MetricsRegistry`).  With ``estimate``
+    (an :class:`~repro.perf.estimator.InferenceEstimate`) each invocation
+    also charges the operator's estimated cycles, giving the same
+    per-operator cycle view the paper's on-board profiler prints — but
+    as mergeable metric series.
+    """
+    cycles_by_op = {}
+    if estimate is not None:
+        for cost in estimate.op_costs:
+            cycles_by_op[cost.op_name] = cost.cycles
+
+    def listener(op, inputs, output):
+        registry.counter("tflm_op_invocations", op=op.name,
+                         opcode=op.opcode, **labels).inc()
+        registry.counter("tflm_output_elements", op=op.name,
+                         opcode=op.opcode, **labels).add(int(output.size))
+        cycles = cycles_by_op.get(op.name)
+        if cycles is not None:
+            registry.counter("tflm_op_cycles", op=op.name,
+                             opcode=op.opcode, **labels).add(int(cycles))
+
+    return listener
+
+
 class Interpreter:
     """Runs a model graph with a given kernel registry.
 

@@ -11,14 +11,19 @@ board'.
 import numpy as np
 import pytest
 
-from repro.accel import KwsCfu, KwsCfu2Rtl
+from repro.accel import KwsCfu, KwsCfu2Rtl, Mnv2Cfu
 from repro.accel.kws import model as km
+from repro.accel.mnv2 import model as mm
 from repro.boards import ARTY_A7_35T
 from repro.cpu.vexriscv import ARTY_DEFAULT
 from repro.emu import Emulator
 from repro.soc import Soc
 
 N = 32  # dot-product length (multiple of 4)
+
+# MNV2 1x1-conv firmware shape: CH output channels, DW input words each.
+MNV2_CH = 8
+MNV2_DW = 4
 
 
 def firmware(data_base, uart_addr):
@@ -80,6 +85,134 @@ def postproc_firmware(mult, shift, zp, bias):
         li a7, 93
         ecall
     """
+
+
+def mnv2_firmware(bias_base, mult_base, shift_base, filt_base, in_base,
+                  out_base, zp):
+    """A full CFU1 1x1-convolution: configure per-channel post-processing
+    parameters from memory, stream filters and inputs into the on-CFU
+    stores, then RUN_POSTPROC one int8 output per channel."""
+    clamp_word = 0x80 | (0x7F << 8)  # act_min=-128, act_max=127
+    return f"""
+    start:
+        cfu  {mm.CFG_RESET}, {mm.F3_CONFIG}, a0, x0, x0
+        li   t0, {MNV2_CH}
+        li   t1, {bias_base}
+        li   t2, {mult_base}
+        li   t3, {shift_base}
+    cfg_loop:
+        lw   a1, 0(t1)
+        cfu  {mm.CFG_BIAS}, {mm.F3_CONFIG}, a0, a1, x0
+        lw   a1, 0(t2)
+        cfu  {mm.CFG_MULT}, {mm.F3_CONFIG}, a0, a1, x0
+        lw   a1, 0(t3)
+        cfu  {mm.CFG_SHIFT}, {mm.F3_CONFIG}, a0, a1, x0
+        addi t1, t1, 4
+        addi t2, t2, 4
+        addi t3, t3, 4
+        addi t0, t0, -1
+        bnez t0, cfg_loop
+        li   a1, {zp & 0xFFFFFFFF}
+        li   a2, {clamp_word}
+        cfu  {mm.CFG_OUTPUT}, {mm.F3_CONFIG}, a0, a1, a2
+        li   a1, {MNV2_DW}
+        cfu  {mm.CFG_DEPTH}, {mm.F3_CONFIG}, a0, a1, x0
+    write_filters:
+        li   t0, {MNV2_CH * MNV2_DW}
+        li   t1, {filt_base}
+    filt_loop:
+        lw   a1, 0(t1)
+        cfu  0, {mm.F3_WRITE_FILT}, a0, a1, x0
+        addi t1, t1, 4
+        addi t0, t0, -1
+        bnez t0, filt_loop
+    write_input:
+        li   t1, {in_base}
+        lw   a1, 0(t1)
+        cfu  1, {mm.F3_WRITE_INPUT}, a0, a1, x0
+        li   t0, {MNV2_DW - 1}
+    in_loop:
+        addi t1, t1, 4
+        lw   a1, 0(t1)
+        cfu  0, {mm.F3_WRITE_INPUT}, a0, a1, x0
+        addi t0, t0, -1
+        bnez t0, in_loop
+    run:
+        cfu  {mm.CFG_RESTART}, {mm.F3_CONFIG}, a0, x0, x0
+        li   t0, {MNV2_CH}
+        li   t1, {out_base}
+    run_loop:
+        cfu  {mm.RUN_POSTPROC}, {mm.F3_RUN1}, a0, x0, x0
+        sb   a0, 0(t1)
+        addi t1, t1, 1
+        addi t0, t0, -1
+        bnez t0, run_loop
+    done:
+        li   a0, 0
+        li   a7, 93
+        ecall
+    """
+
+
+def make_mnv2_data(seed):
+    """Random per-channel postproc params, filters, and one input patch."""
+    rng = np.random.default_rng(seed)
+    bias = rng.integers(-500, 500, size=MNV2_CH).astype(np.int32)
+    mult = rng.integers(0x40000000, 0x7F000000, size=MNV2_CH).astype(np.int32)
+    shift = rng.integers(-8, 1, size=MNV2_CH).astype(np.int32)
+    filt = rng.integers(-128, 128, size=(MNV2_CH, MNV2_DW, 4)).astype(np.int8)
+    inp = rng.integers(-128, 128, size=(MNV2_DW, 4)).astype(np.int8)
+    return bias, mult, shift, filt, inp
+
+
+def mnv2_expected(bias, mult, shift, filt, inp, zp):
+    """Independent oracle: numpy accumulation + the TFLite requantizer."""
+    from repro.tflm.quantize import multiply_by_quantized_multiplier
+
+    outputs = []
+    for ch in range(MNV2_CH):
+        acc = int((filt[ch].astype(np.int64) * inp.astype(np.int64)).sum())
+        scaled = int(multiply_by_quantized_multiplier(
+            acc + int(bias[ch]), int(mult[ch]), int(shift[ch])))
+        outputs.append(max(-128, min(127, scaled + zp)))
+    return outputs
+
+
+def load_mnv2_firmware(emu, soc, seed=0, zp=-3):
+    """Lay out the data, assemble, and load; returns (symbols, expected,
+    out_base)."""
+    bias, mult, shift, filt, inp = make_mnv2_data(seed)
+    ram = soc.memory_map.get("main_ram").base
+    bias_base = ram + 0x2000
+    mult_base = bias_base + 4 * MNV2_CH
+    shift_base = mult_base + 4 * MNV2_CH
+    filt_base = shift_base + 4 * MNV2_CH
+    in_base = filt_base + 4 * MNV2_CH * MNV2_DW
+    out_base = in_base + 4 * MNV2_DW
+    for base, blob in ((bias_base, bias), (mult_base, mult),
+                       (shift_base, shift)):
+        emu.bus.load_bytes(base, blob.astype("<i4").tobytes())
+    emu.bus.load_bytes(filt_base, filt.tobytes())
+    emu.bus.load_bytes(in_base, inp.tobytes())
+    symbols = emu.load_assembly(
+        mnv2_firmware(bias_base, mult_base, shift_base, filt_base, in_base,
+                      out_base, zp),
+        region="main_ram")
+    return symbols, mnv2_expected(bias, mult, shift, filt, inp, zp), out_base
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_mnv2_conv_firmware(seed):
+    """The CFU1 1x1 conv end to end: config, filter/input streaming,
+    autonomous RUN, outputs in memory — against the numpy oracle."""
+    soc = Soc(ARTY_A7_35T, ARTY_DEFAULT)
+    emu = Emulator(soc, cfu=Mnv2Cfu())
+    symbols, expected, out_base = load_mnv2_firmware(emu, soc, seed=seed)
+    assert emu.run() == 0
+    got = [emu.bus.read8(out_base + i) for i in range(MNV2_CH)]
+    got = [b - 256 if b & 0x80 else b for b in got]
+    assert got == expected
+    assert "run_loop" in symbols
 
 
 def make_vectors(seed):

@@ -122,3 +122,39 @@ def test_reset_kernels(mnv2):
     assert pg.profile().total_cycles < base
     pg.reset_kernels()
     assert pg.profile().total_cycles == pytest.approx(base)
+
+
+def test_profile_simulate_cross_validates_estimate(kws):
+    """Playground.profile(simulate=True): the analytic estimate is
+    replayed as synthesized firmware on the ISA simulator and rescaled
+    by the measured drift — which must stay inside the asserted band."""
+    from repro.core import ProfileDriftError, SimulatedProfile
+
+    pg = Playground(ARTY_A7_35T, kws)
+    estimate = pg.profile()
+    sim = pg.profile(simulate=True, budget=5_000, checkpoint="simulated")
+    assert isinstance(sim, SimulatedProfile)
+    assert sim.classes, "dominant classes must have been simulated"
+    for cls in sim.classes:
+        lo, hi = sim.drift_band
+        assert lo <= cls.drift <= hi
+        assert cls.sim_cycles > 0
+        assert cls.profile.total_cycles == cls.sim_cycles
+    # The corrected total stays in the same ballpark as the estimate.
+    assert sim.total_cycles == pytest.approx(estimate.total_cycles, rel=0.5)
+    assert pg.history[-1][0] == "simulated"
+    assert "simulated profile" in sim.summary()
+    # Folded stacks are two-level: class;segment.
+    assert all(";" in line.split(" ")[0] for line in sim.folded())
+    # An impossible band trips the drift assertion.
+    with pytest.raises(ProfileDriftError):
+        pg.profile(simulate=True, budget=5_000, drift_band=(0.999, 1.001))
+
+
+def test_simulate_skips_minor_classes_and_reports_them(kws):
+    pg = Playground(ARTY_A7_35T, kws)
+    sim = pg.profile(simulate=True, budget=5_000, min_share=0.5)
+    assert len(sim.classes) <= 1
+    assert sim.skipped
+    assert sim.total_estimated == pytest.approx(
+        pg.profile().total_cycles, rel=1e-6)

@@ -62,6 +62,22 @@ def test_record_span_for_externally_timed_work(tracer, clock):
     assert tracer.spans == [span]
 
 
+def test_record_span_clamp_preserves_duration(tracer, clock):
+    """A duration longer than the clock's history used to be silently
+    shortened; now the duration is kept, start clamps to 0, and the
+    span is marked clamped."""
+    clock.advance(2.0)
+    span = tracer.record_span("long_trial", 5.0)
+    assert span.duration == 5.0          # the measurement is the datum
+    assert span.start == 0.0
+    assert span.attrs["clamped"] is True
+    # In-range spans are untouched and unmarked.
+    clock.advance(10.0)
+    ok = tracer.record_span("ok_trial", 3.0)
+    assert ok.start == 9.0
+    assert "clamped" not in ok.attrs
+
+
 def test_counters_accumulate(tracer):
     tracer.count("cache_hit")
     tracer.count("cache_hit", 2)
