@@ -45,6 +45,11 @@ def _s8(byte):
     return byte - 256 if byte & 0x80 else byte
 
 
+#: Sign-extension lookup for int8 lanes; one index replaces the
+#: xor/sub dance in the MAC hot path.
+_SX = tuple((x ^ 0x80) - 0x80 for x in range(256))
+
+
 class KwsCfu(CfuModel):
     """Stateful software model of CFU2."""
 
@@ -80,27 +85,11 @@ class KwsCfu(CfuModel):
         if funct3 == F3_MAC4:
             if funct7 == 1:
                 self.acc = 0
-            # Lanes unrolled with inline sign extension ((x ^ 0x80) - 0x80);
-            # this is the hottest CFU op in simulation.
-            dot = ((((a & 0xFF) ^ 0x80) - 0x80)
-                   * (((b & 0xFF) ^ 0x80) - 0x80)
-                   + (((a >> 8 & 0xFF) ^ 0x80) - 0x80)
-                   * (((b >> 8 & 0xFF) ^ 0x80) - 0x80)
-                   + (((a >> 16 & 0xFF) ^ 0x80) - 0x80)
-                   * (((b >> 16 & 0xFF) ^ 0x80) - 0x80)
-                   + (((a >> 24 & 0xFF) ^ 0x80) - 0x80)
-                   * (((b >> 24 & 0xFF) ^ 0x80) - 0x80))
-            acc = (self.acc + dot) & 0xFFFFFFFF
-            self.acc = acc - (1 << 32) if acc & 0x8000_0000 else acc
-            return acc
+            return self._mac4(a, b)
         if funct3 == F3_MAC1:
             if funct7 == 1:
                 self.acc = 0
-            prod = ((((a & 0xFF) ^ 0x80) - 0x80)
-                    * (((b & 0xFF) ^ 0x80) - 0x80))
-            acc = (self.acc + prod) & 0xFFFFFFFF
-            self.acc = acc - (1 << 32) if acc & 0x8000_0000 else acc
-            return acc
+            return self._mac1(a, b)
         if funct3 == F3_POSTPROC:
             acc = _s32(self.acc + _s32(b))
             scaled = int(multiply_by_quantized_multiplier(acc, self.mult,
@@ -110,6 +99,55 @@ class KwsCfu(CfuModel):
         if funct3 == F3_READ_ACC:
             return self.acc & 0xFFFFFFFF
         raise CfuError(f"unknown funct3 {funct3}")
+
+    def _mac4(self, a, b):
+        # Lanes unrolled over the sign-extension table; this is the
+        # hottest CFU op in simulation.  Byte extraction via & is
+        # mask-free for any int, so callers skip the 32-bit mask.
+        dot = (_SX[a & 0xFF] * _SX[b & 0xFF]
+               + _SX[a >> 8 & 0xFF] * _SX[b >> 8 & 0xFF]
+               + _SX[a >> 16 & 0xFF] * _SX[b >> 16 & 0xFF]
+               + _SX[a >> 24 & 0xFF] * _SX[b >> 24 & 0xFF])
+        acc = (self.acc + dot) & 0xFFFFFFFF
+        self.acc = acc - (1 << 32) if acc & 0x8000_0000 else acc
+        return acc
+
+    def _mac4_reset(self, a, b):
+        self.acc = 0
+        return self._mac4(a, b)
+
+    def _mac1(self, a, b):
+        prod = _SX[a & 0xFF] * _SX[b & 0xFF]
+        acc = (self.acc + prod) & 0xFFFFFFFF
+        self.acc = acc - (1 << 32) if acc & 0x8000_0000 else acc
+        return acc
+
+    def _mac1_reset(self, a, b):
+        self.acc = 0
+        return self._mac1(a, b)
+
+    def execute(self, funct3, funct7, a, b):
+        # Fast path for the two MAC ops: same semantics as
+        # CfuModel.execute (masked result, latency 1) without the
+        # three-call dispatch chain.
+        f3 = funct3 & 0x7
+        if f3 == F3_MAC4:
+            if funct7 & 0x7F == 1:
+                self.acc = 0
+            return self._mac4(a, b), 1
+        if f3 == F3_MAC1:
+            if funct7 & 0x7F == 1:
+                self.acc = 0
+            return self._mac1(a, b), 1
+        return CfuModel.execute(self, funct3, funct7, a, b)
+
+    def fast_call(self, funct3, funct7):
+        f3, f7 = funct3 & 0x7, funct7 & 0x7F
+        if f3 == F3_MAC4:
+            return self._mac4_reset if f7 == 1 else self._mac4
+        if f3 == F3_MAC1:
+            return self._mac1_reset if f7 == 1 else self._mac1
+        return None
 
     def latency(self, funct3, funct7):
         if funct3 == F3_POSTPROC:

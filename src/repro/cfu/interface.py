@@ -58,6 +58,19 @@ class CfuModel:
         result = self.op(funct3 & 0x7, funct7 & 0x7F, a & _MASK32, b & _MASK32)
         return result & _MASK32, self.latency(funct3, funct7)
 
+    def fast_call(self, funct3, funct7):
+        """Optional single-latency fast path for the translation tier.
+
+        Return a callable ``f(a, b) -> result`` equivalent to
+        ``execute(funct3, funct7, a, b)`` for this fixed opcode pair —
+        the result already masked to 32 bits, the latency exactly 1 —
+        or ``None`` to keep the generic :meth:`execute` path.  Hot
+        models override this for their inner-loop ops; wrappers that
+        must observe every invocation (:class:`MeteredCfu`) simply
+        don't provide one.
+        """
+        return None
+
     def resources(self):
         """Resource estimate; overridden by designs with known gateware."""
         from ..rtl.synth import ResourceReport

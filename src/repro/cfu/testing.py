@@ -92,3 +92,72 @@ def assert_equivalent(rtl_cfu, model, opcodes, count=100, seed=0,
             f"{len(report.mismatches)}/{report.total} golden mismatches:\n{shown}"
         )
     return report
+
+
+# --- firmware-level golden tests -------------------------------------------------
+
+
+@dataclass
+class FirmwareRun:
+    """Architectural outcome of one firmware run: everything the golden
+    comparison looks at."""
+
+    exit_code: int
+    instret: int
+    cycles: int
+    regs: tuple
+    uart: str
+
+
+def run_firmware(soc_factory, cfu, source, region="sram",
+                 max_instructions=5_000_000, sim_backend="auto"):
+    """Assemble and run ``source`` on a fresh SoC with ``cfu`` attached.
+
+    ``soc_factory`` builds the SoC (a fresh one per run, so two runs
+    never share peripheral or RAM state).  ``sim_backend`` picks the ISA
+    execution tier (see :data:`repro.cpu.machine.SIM_BACKENDS`).
+    """
+    from ..emu import Emulator
+
+    emulator = Emulator(soc_factory(), cfu=cfu, sim_backend=sim_backend)
+    emulator.load_assembly(source, region=region)
+    exit_code = emulator.run(max_instructions)
+    machine = emulator.machine
+    try:
+        uart = emulator.uart_output
+    except KeyError:
+        uart = ""
+    return FirmwareRun(exit_code=exit_code, instret=machine.instret,
+                       cycles=machine.cycles, regs=tuple(machine.regs),
+                       uart=uart)
+
+
+def assert_firmware_equivalent(soc_factory, rtl_cfu, model, source,
+                               region="sram", max_instructions=5_000_000,
+                               backend="auto", sim_backend="auto"):
+    """Section II-E, one level up: the same *firmware* must behave
+    identically with the real CFU and with its software emulation.
+
+    Runs ``source`` twice — gateware CFU, then software model — on fresh
+    SoCs and asserts identical exit code, retired-instruction count,
+    register file, and UART output.  Cycle counts are reported on the
+    returned pair but not asserted (model latencies may legitimately
+    differ from gateware).  ``sim_backend`` applies to both runs, so the
+    harness itself can be exercised on any execution tier.
+    """
+    if isinstance(rtl_cfu, RtlCfu):
+        rtl_cfu = RtlCfuAdapter(rtl_cfu, backend=backend)
+    rtl_run = run_firmware(soc_factory, rtl_cfu, source, region=region,
+                           max_instructions=max_instructions,
+                           sim_backend=sim_backend)
+    model_run = run_firmware(soc_factory, model, source, region=region,
+                             max_instructions=max_instructions,
+                             sim_backend=sim_backend)
+    for attr in ("exit_code", "instret", "regs", "uart"):
+        rtl_value = getattr(rtl_run, attr)
+        model_value = getattr(model_run, attr)
+        if rtl_value != model_value:
+            raise AssertionError(
+                f"firmware golden mismatch on {attr}: "
+                f"rtl={rtl_value!r} model={model_value!r}")
+    return rtl_run, model_run

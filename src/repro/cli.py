@@ -46,7 +46,8 @@ def _cmd_profile(args):
 
     project = load_project(args.project)
     if args.simulate:
-        sim = project.profile(simulate=True, budget=args.budget)
+        sim = project.profile(simulate=True, budget=args.budget,
+                              sim_backend=args.sim_backend)
         print(sim.summary())
         if args.folded_out:
             count = sim.export_folded(args.folded_out)
@@ -104,7 +105,8 @@ def _cmd_dse(args):
     tracer = Tracer()
     result = run_fig7(trials_per_family=args.trials, seed=args.seed,
                       workers=args.workers, batch=args.batch,
-                      cache_dir=args.cache_dir, tracer=tracer)
+                      cache_dir=args.cache_dir, tracer=tracer,
+                      sim_backend=args.sim_backend)
     print(result.summary())
     print()
     print(tracer.summary())
@@ -151,6 +153,19 @@ def _positive_int(text):
     return value
 
 
+def _add_sim_backend_flag(subparser):
+    from .cpu.machine import SIM_BACKENDS
+
+    subparser.add_argument(
+        "--sim-backend", choices=SIM_BACKENDS, default="auto",
+        dest="sim_backend",
+        help="ISA simulator execution tier: auto promotes hot basic "
+             "blocks to generated code (falling back to the fast "
+             "dispatch loop on unsupported constructs), translated/fast "
+             "pin a tier, step is the reference interpreter; all tiers "
+             "are cycle-identical (mirrors the RTL backend= convention)")
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -182,6 +197,7 @@ def build_parser():
     profile.add_argument("--metrics-out", default=None,
                          help="write a metrics JSON snapshot here "
                               "(with --simulate)")
+    _add_sim_backend_flag(profile)
     profile.set_defaults(func=_cmd_profile)
 
     golden = sub.add_parser("golden", help="run a project's golden test")
@@ -208,6 +224,7 @@ def build_parser():
     dse.add_argument("--trace-out", default=None,
                      help="write a JSONL trace (trial spans, progress "
                           "events, counters) here")
+    _add_sim_backend_flag(dse)
     dse.set_defaults(func=_cmd_dse)
 
     rep = sub.add_parser("report",

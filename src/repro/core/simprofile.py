@@ -438,7 +438,8 @@ def _class_key(cost, names_1x1):
 
 
 def _simulate_class(name, trace, instructions, code_section, estimated,
-                    playground, system, budget, tracer=None):
+                    playground, system, budget, tracer=None,
+                    sim_backend="auto"):
     """Synthesize + run + replay one opcode class; returns a ClassSim."""
     from ..emu import Emulator
 
@@ -495,7 +496,7 @@ def _simulate_class(name, trace, instructions, code_section, estimated,
 
     profiler = MachineProfiler(emulator.machine, symbols)
     limit = int(replay_instructions * 2) + 10_000
-    profile = profiler.run(max_instructions=limit, fast=True)
+    profile = profiler.run(max_instructions=limit, backend=sim_backend)
     if profile.truncated:
         raise RuntimeError(
             f"synthesized firmware for {name} exceeded its instruction "
@@ -508,7 +509,7 @@ def _simulate_class(name, trace, instructions, code_section, estimated,
 
 def simulate_profile(playground, budget=DEFAULT_BUDGET, min_share=0.02,
                      drift_band=DEFAULT_DRIFT_BAND, estimate=None,
-                     check=True):
+                     check=True, sim_backend="auto"):
     """Cross-validate a playground's analytic profile against the ISA
     simulator; returns a :class:`SimulatedProfile`.
 
@@ -516,6 +517,9 @@ def simulate_profile(playground, budget=DEFAULT_BUDGET, min_share=0.02,
     cycles gets a synthesized firmware run of about ``budget``
     instructions.  ``check=True`` raises :exc:`ProfileDriftError` when
     any class's simulated/analytic ratio leaves ``drift_band``.
+    ``sim_backend`` selects the ISA execution tier (see
+    :data:`repro.cpu.machine.SIM_BACKENDS`); all tiers produce identical
+    cycle counts, so this only trades wall-clock for warm-up cost.
     """
     if estimate is None:
         estimate = playground.profile()
@@ -554,12 +558,14 @@ def simulate_profile(playground, budget=DEFAULT_BUDGET, min_share=0.02,
             with tracer.span("simprofile_class", cls=name) as span:
                 sim = _simulate_class(name, trace, instructions,
                                       code_section, estimated, playground,
-                                      system, budget)
+                                      system, budget,
+                                      sim_backend=sim_backend)
                 if sim is not None:
                     span.attrs["drift"] = round(sim.drift, 4)
         else:
             sim = _simulate_class(name, trace, instructions, code_section,
-                                  estimated, playground, system, budget)
+                                  estimated, playground, system, budget,
+                                  sim_backend=sim_backend)
         if sim is None:
             result.skipped[name] = estimated
         else:

@@ -10,7 +10,7 @@
 from .assembler import AssemblerError, assemble
 from .disasm import disassemble
 from .isa import Instruction, decode, encode_cfu, register_number
-from .machine import Machine, MemoryAccessError, SparseMemory
+from .machine import SIM_BACKENDS, Machine, MemoryAccessError, SparseMemory
 from .timing import BranchPredictor, VexTiming
 from .vexriscv import (
     ARTY_DEFAULT,
@@ -35,6 +35,7 @@ __all__ = [
     "Machine",
     "MemoryAccessError",
     "SHIFTERS",
+    "SIM_BACKENDS",
     "SparseMemory",
     "VexRiscvConfig",
     "VexTiming",

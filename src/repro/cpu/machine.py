@@ -28,12 +28,22 @@ Two execution paths share the same architectural semantics:
 
 from __future__ import annotations
 
+from time import perf_counter
+
 from . import isa
 from .isa import OPCODE_CUSTOM0
 
 _PAGE_BITS = 12
 _PAGE_SIZE = 1 << _PAGE_BITS
 _MASK32 = 0xFFFFFFFF
+
+#: Simulator backend names accepted by :meth:`Machine.run` (and
+#: everything that forwards to it).  ``auto`` is the tiered mode:
+#: decoded-op dispatch with hot blocks promoted to the translation tier
+#: (falling back to tier 1 wherever translation is refused);
+#: ``translated`` is an alias for the same tiered mode, ``fast`` pins
+#: tier 1 only, ``step`` is the reference interpreter.
+SIM_BACKENDS = ("auto", "translated", "fast", "step")
 
 
 def _sext32(value):
@@ -308,6 +318,22 @@ class Machine:
         self._decode_pages = {}
         self.decode_count = 0          # static decodes performed
         self.invalidation_count = 0    # pages invalidated by stores/flushes
+        # Tier-2 block cache (repro.cpu.translate): pc -> BlockEntry,
+        # plus the page -> [entry pc] map mirroring the decode cache's
+        # invalidation contract.  NOTE: generated blocks bake direct
+        # references to _decode_pages/_block_pages — mutate those dicts
+        # in place, never rebind them.
+        self._blocks = {}
+        self._block_pages = {}
+        self._block_hot = {}           # pc -> dispatch count until promotion
+        self._block_fault = [0, 0, -1]  # (pc, cycles, instrs) at in-block fault
+        self._block_timing = None      # timing model the blocks were baked for
+        self._block_traffic = False    # bus traffic accounting at bake time
+        self.hot_threshold = 16        # block-entry dispatches before promotion
+        self.block_promotions = 0      # successful block translations
+        self.block_invalidation_count = 0
+        self.block_compile_seconds = 0.0
+        self.last_run_backend = None
 
     # --- decode cache ---------------------------------------------------------------
     @property
@@ -315,17 +341,78 @@ class Machine:
         return len(self._decode_cache)
 
     def flush_decode_cache(self):
-        """Drop every cached decode (e.g. after loading a new image)."""
+        """Drop every cached decode (e.g. after loading a new image).
+        Translated blocks are built from cached decodes, so they go
+        with it."""
         if self._decode_pages:
             self.invalidation_count += len(self._decode_pages)
         self._decode_cache.clear()
         self._decode_pages.clear()
+        self.flush_block_cache()
 
     def _invalidate_page(self, page):
         cache = self._decode_cache
         for pc in self._decode_pages.pop(page):
             cache.pop(pc, None)
         self.invalidation_count += 1
+
+    # --- block (tier-2) cache -------------------------------------------------------
+    @property
+    def block_cache_entries(self):
+        """Translated blocks currently cached (sentinels excluded)."""
+        return sum(1 for entry in self._blocks.values()
+                   if entry.fn is not None)
+
+    def flush_block_cache(self):
+        """Drop every translated block (and the promotion counters)."""
+        if self._block_pages:
+            self.block_invalidation_count += len(self._block_pages)
+        self._blocks.clear()
+        self._block_pages.clear()
+        self._block_hot.clear()
+
+    def _invalidate_block_page(self, page):
+        blocks = self._blocks
+        for pc in self._block_pages.pop(page):
+            blocks.pop(pc, None)
+        self.block_invalidation_count += 1
+
+    def _invalidate_store(self, addr, span):
+        """Invalidate decode + block caches for a store to ``addr``
+        (called from inside generated blocks).  Returns True when
+        anything was dropped, telling the block to bail back to the
+        dispatch loop."""
+        hit = False
+        page = addr >> _PAGE_BITS
+        if page in self._decode_pages:
+            self._invalidate_page(page)
+            hit = True
+        if page in self._block_pages:
+            self._invalidate_block_page(page)
+            hit = True
+        last = (addr + span) >> _PAGE_BITS
+        if last != page:
+            if last in self._decode_pages:
+                self._invalidate_page(last)
+                hit = True
+            if last in self._block_pages:
+                self._invalidate_block_page(last)
+                hit = True
+        return hit
+
+    def _promote(self, pc):
+        """Translate the block at ``pc`` and install it (or a sentinel
+        on refusal, so tier 1 keeps handling this pc)."""
+        from .translate import translate_block
+
+        started = perf_counter()
+        entry = translate_block(self, pc)
+        self.block_compile_seconds += perf_counter() - started
+        self._blocks[pc] = entry
+        self._block_pages.setdefault(pc >> _PAGE_BITS, []).append(pc)
+        if entry.fn is not None:
+            self.block_promotions += 1
+        return entry
 
     def _decode_pc(self, pc):
         word = self.memory.read32(pc)
@@ -351,8 +438,18 @@ class Machine:
         registry.counter("sim_decodes", **labels).add(self.decode_count)
         registry.counter("sim_decode_invalidations",
                          **labels).add(self.invalidation_count)
-        registry.gauge("sim_decode_cache_entries",
+        # Cache-size gauges are labelled by the backend tier that last
+        # ran, so a decode-cache count from a pure tier-1 run is never
+        # conflated with one from a tiered (translated) run.
+        tier = self.last_run_backend or "none"
+        registry.gauge("sim_decode_cache_entries", tier=tier,
                        **labels).set(self.decode_cache_entries)
+        registry.gauge("sim_block_cache_entries", tier=tier,
+                       **labels).set(self.block_cache_entries)
+        registry.counter("sim_block_promotions",
+                         **labels).add(self.block_promotions)
+        registry.counter("sim_block_invalidations",
+                         **labels).add(self.block_invalidation_count)
         if self.timing is not None:
             for cache in (self.timing.icache, self.timing.dcache):
                 if cache is None:
@@ -385,19 +482,32 @@ class Machine:
         return self.regs[index]
 
     # --- execution ------------------------------------------------------------------
-    def run(self, max_instructions=1_000_000, fast=True):
+    def run(self, max_instructions=1_000_000, fast=True, backend=None):
         """Execute until halt or the instruction budget is exhausted.
 
-        ``fast=True`` (default) runs the decoded-instruction-cache
-        dispatch loop; ``fast=False`` runs the reference ``step()``
-        loop.  Both are architecturally identical (the differential
-        suite asserts it).  The budget counts executed instructions: a
-        program that halts *on* its ``max_instructions``-th instruction
-        completes normally; the budget error is raised only when the
-        machine is still running after the budget is spent.
+        ``backend`` picks the execution tier (see :data:`SIM_BACKENDS`):
+        ``"auto"``/``"translated"`` run the tiered loop (decoded-op
+        dispatch promoting hot basic blocks to generated code),
+        ``"fast"`` pins the tier-1 dispatch loop, ``"step"`` the
+        reference interpreter.  When ``backend`` is None it resolves
+        from the legacy ``fast`` flag: ``fast=True`` -> ``"auto"``,
+        ``fast=False`` -> ``"step"``.  All backends are architecturally
+        identical (the differential suite asserts it).  The budget
+        counts executed instructions: a program that halts *on* its
+        ``max_instructions``-th instruction completes normally; the
+        budget error is raised only when the machine is still running
+        after the budget is spent.
         """
-        if fast:
-            self._run_fast(max_instructions)
+        if backend is None:
+            backend = "auto" if fast else "step"
+        if backend not in SIM_BACKENDS:
+            raise ValueError(
+                f"unknown sim backend {backend!r}"
+                f" (expected one of {', '.join(SIM_BACKENDS)})")
+        self.last_run_backend = backend
+        if backend != "step":
+            self._run_fast(max_instructions,
+                           translate=backend != "fast")
         else:
             executed = 0
             while executed < max_instructions and not self.halted:
@@ -407,10 +517,15 @@ class Machine:
             raise RuntimeError(f"instruction budget exhausted at pc=0x{self.pc:08x}")
         return self.exit_code
 
-    def _run_fast(self, max_instructions, profile=None):
+    def _run_fast(self, max_instructions, profile=None, translate=False):
         """The fast path: cached decode + pre-specialized dispatch with
         hot state in locals.  Bit-identical to the ``step()`` loop,
         timing model and CFU included.
+
+        ``translate=True`` adds the tier-2 block layer: block-entry pcs
+        (targets of control transfers) are counted, promoted to
+        generated code (:mod:`repro.cpu.translate`) once hot, and
+        dispatched whole; everything else stays on the tier-1 loop.
 
         ``profile`` (a :class:`~repro.cpu.profiler.MachineProfiler`, or
         anything exposing ``pc_buckets``/``bucket_for_pc``) enables
@@ -429,6 +544,7 @@ class Machine:
         cache = self._decode_cache
         cache_get = cache.get
         cache_pages = self._decode_pages
+        block_pages = self._block_pages
         decode_pc = self._decode_pc
         read8 = memory.read8
         read16 = memory.read16
@@ -454,11 +570,75 @@ class Machine:
         last_pc = 0
         last_cycles = cycles
         pending = False
+        if translate:
+            # Blocks bake the timing model's identity and the bus
+            # traffic-accounting mode; if either moved under us, the
+            # cache is for a different machine configuration.
+            traffic_now = getattr(memory, "_traffic", None) is not None
+            if self._block_timing is not timing or \
+                    self._block_traffic != traffic_now:
+                self.flush_block_cache()
+                self._block_timing = timing
+                self._block_traffic = traffic_now
+            blocks_get = self._blocks.get
+            hot = self._block_hot
+            hot_get = hot.get
+            threshold = self.hot_threshold
+            fault_box = self._block_fault
+            # Pretend we arrived by jump so the entry pc counts as a
+            # block leader.
+            prev_k = _K_JAL
         try:
             while executed < max_instructions and not halted:
+                if translate:
+                    entry = blocks_get(pc)
+                    if entry is not None:
+                        fn = entry.fn
+                        if fn is not None and \
+                                executed + entry.length <= max_instructions:
+                            if profiling:
+                                if pending:
+                                    bucket = buckets_get(last_pc)
+                                    if bucket is None:
+                                        bucket = new_bucket(last_pc)
+                                    bucket[0] += cycles - last_cycles
+                                    bucket[1] += 1
+                                    pending = False
+                                fn = entry.fn_prof
+                                if fn is None:
+                                    fn = entry.ensure_profiled(self)
+                                fault_box[2] = -1
+                                pc, cycles, n, pending_rd, pending_is_load = \
+                                    fn(regs, cycles, pending_rd,
+                                       pending_is_load, cfu,
+                                       max_instructions - executed,
+                                       buckets_get, new_bucket)
+                            else:
+                                fault_box[2] = -1
+                                pc, cycles, n, pending_rd, pending_is_load = \
+                                    fn(regs, cycles, pending_rd,
+                                       pending_is_load, cfu,
+                                       max_instructions - executed)
+                            instret += n
+                            executed += n
+                            prev_k = _K_JAL
+                            continue
+                    # Count block leaders only: pcs reached through a
+                    # control transfer (or a block exit).  Sequential
+                    # pcs inside a would-be block never promote on
+                    # their own.
+                    elif 64 <= prev_k < 96 or prev_k == _K_ECALL:
+                        count = hot_get(pc, 0) + 1
+                        if count >= threshold:
+                            hot.pop(pc, None)
+                            self._promote(pc)
+                            continue
+                        hot[pc] = count
                 op = cache_get(pc)
                 if op is None:
                     op = decode_pc(pc)
+                if translate:
+                    prev_k = op[0]
                 if profiling:
                     if pending:
                         bucket = buckets_get(last_pc)
@@ -614,9 +794,14 @@ class Machine:
                     page = addr >> _PAGE_BITS
                     if page in cache_pages:
                         self._invalidate_page(page)
+                    if page in block_pages:
+                        self._invalidate_block_page(page)
                     last = (addr + span) >> _PAGE_BITS
-                    if last != page and last in cache_pages:
-                        self._invalidate_page(last)
+                    if last != page:
+                        if last in cache_pages:
+                            self._invalidate_page(last)
+                        if last in block_pages:
+                            self._invalidate_block_page(last)
                     if timed:
                         cycles += timing.store_cycles(addr)
                         pending_rd = 0
@@ -767,6 +952,13 @@ class Machine:
                 bucket[0] += cycles - last_cycles
                 bucket[1] += 1
         except BaseException:
+            if translate and fault_box[2] >= 0:
+                # The fault happened inside a generated block, which
+                # left the committed-so-far state in the fault box.
+                pc = fault_box[0]
+                cycles = fault_box[1]
+                instret += fault_box[2]
+                fault_box[2] = -1
             # step() clears the hazard bookkeeping before dispatch, so a
             # faulting instruction leaves no pending writeback behind.
             pending_rd = 0
@@ -999,12 +1191,7 @@ class Machine:
             span = 3
         else:
             raise RuntimeError("bad store funct3")
-        page = addr >> _PAGE_BITS
-        if page in self._decode_pages:
-            self._invalidate_page(page)
-        last = (addr + span) >> _PAGE_BITS
-        if last != page and last in self._decode_pages:
-            self._invalidate_page(last)
+        self._invalidate_store(addr, span)
         if self.timing is not None:
             return self.timing.store_cycles(addr) - 1
         return 0

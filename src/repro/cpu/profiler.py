@@ -140,15 +140,31 @@ class MachineProfiler:
         self.pc_buckets[pc] = bucket
         return bucket
 
-    def run(self, max_instructions=5_000_000, fast=True):
+    def run(self, max_instructions=5_000_000, fast=True, backend=None):
         """Run to halt (or budget) and return the :class:`Profile`.
+
+        ``backend`` picks the execution tier exactly as in
+        :meth:`Machine.run <repro.cpu.machine.Machine.run>`; None
+        resolves from the legacy ``fast`` flag.  Attribution is
+        identical across tiers: translated blocks charge cycles to the
+        same pc buckets the dispatch loops would.
 
         A budget exhaustion returns the partial profile with
         ``truncated=True`` instead of discarding it.
         """
+        from .machine import SIM_BACKENDS
+
+        if backend is None:
+            backend = "auto" if fast else "step"
+        if backend not in SIM_BACKENDS:
+            raise ValueError(
+                f"unknown sim backend {backend!r}"
+                f" (expected one of {', '.join(SIM_BACKENDS)})")
         machine = self.machine
-        if fast:
-            machine._run_fast(max_instructions, profile=self)
+        machine.last_run_backend = backend
+        if backend != "step":
+            machine._run_fast(max_instructions, profile=self,
+                              translate=backend != "fast")
         else:
             remaining = max_instructions
             buckets = self.pc_buckets
@@ -204,12 +220,12 @@ class MachineProfiler:
 
 
 def profile_assembly(source, timing=None, cfu=None, region_base=0,
-                     max_instructions=5_000_000, fast=True):
+                     max_instructions=5_000_000, fast=True, backend=None):
     """Assemble, run, and profile a program in one call."""
     from .machine import Machine
 
     machine = Machine(cfu=cfu, timing=timing)
     symbols = machine.load_assembly(source, addr=region_base)
     profiler = MachineProfiler(machine, symbols)
-    profile = profiler.run(max_instructions, fast=fast)
+    profile = profiler.run(max_instructions, fast=fast, backend=backend)
     return profile, machine

@@ -207,12 +207,18 @@ class Fig7Evaluator:
     hits/misses and fit rejections.
     """
 
-    def __init__(self, model=None, board=ARTY_A7_35T, cache=None, tracer=None):
+    def __init__(self, model=None, board=ARTY_A7_35T, cache=None, tracer=None,
+                 sim_backend="auto"):
         self.model = model or load("mobilenet_v2", width_multiplier=0.75,
                                    num_classes=100)
         self.board = board
         self.cache = cache if cache is not None else EvaluationCache()
         self.tracer = tracer if tracer is not None else Tracer()
+        #: ISA execution tier for simulation-backed evaluation steps
+        #: (see :data:`repro.cpu.machine.SIM_BACKENDS`).  The stock
+        #: analytic oracle performs no ISA simulation, so this only
+        #: affects evaluators that cross-validate on the simulator.
+        self.sim_backend = sim_backend
 
     def cache_key(self, parameters, family):
         return cache_key(parameters, family,
@@ -275,7 +281,7 @@ class Fig7Evaluator:
 
 def run_fig7(trials_per_family=120, seed=0, evaluator=None,
              algorithm_factory=None, workers=1, batch=None, cache_dir=None,
-             tracer=None):
+             tracer=None, sim_backend="auto"):
     """Run the three studies and return a :class:`DseResult`.
 
     ``workers`` shards each suggestion batch across processes;
@@ -284,12 +290,21 @@ def run_fig7(trials_per_family=120, seed=0, evaluator=None,
     or parallel.  ``cache_dir`` persists evaluations across runs — a
     warm rerun performs zero fresh evaluations.  ``tracer`` (or the
     evaluator's own) collects per-trial spans, per-family progress
-    events, and cache/fit counters.
+    events, and cache/fit counters.  ``sim_backend`` picks the ISA
+    execution tier for simulation-backed evaluators (the stock analytic
+    oracle simulates nothing, so for it the knob is recorded but inert);
+    it is validated eagerly and stamped on the run trace.
     """
+    from ..cpu.machine import SIM_BACKENDS
+
+    if sim_backend not in SIM_BACKENDS:
+        raise ValueError(
+            f"unknown sim backend {sim_backend!r}"
+            f" (expected one of {', '.join(SIM_BACKENDS)})")
     if evaluator is None:
         tracer = tracer if tracer is not None else Tracer()
         evaluator = Fig7Evaluator(cache=EvaluationCache(cache_dir),
-                                  tracer=tracer)
+                                  tracer=tracer, sim_backend=sim_backend)
     else:
         if cache_dir is not None:
             evaluator.cache = EvaluationCache(cache_dir)
@@ -297,6 +312,7 @@ def run_fig7(trials_per_family=120, seed=0, evaluator=None,
             evaluator.tracer = tracer  # one tracer owns the whole run
         else:
             tracer = evaluator.tracer
+        evaluator.sim_backend = sim_backend
     algorithm_factory = algorithm_factory or (lambda: RegularizedEvolution())
     batch = DEFAULT_BATCH if batch is None else batch
     if batch < 1:
@@ -311,7 +327,7 @@ def run_fig7(trials_per_family=120, seed=0, evaluator=None,
     try:
         for family in CFU_FAMILIES:
             tracer.event("family_start", family=family,
-                         budget=trials_per_family)
+                         budget=trials_per_family, sim_backend=sim_backend)
             study = Study(
                 space=vexriscv_space(),
                 goals=[MetricGoal("cycles"), MetricGoal("logic_cells")],

@@ -25,12 +25,15 @@ class Emulator:
     """A SoC + CPU + optional CFU, ready to run programs."""
 
     def __init__(self, soc, cfu=None, with_timing=True, tracer=None,
-                 rtl_backend="auto"):
+                 rtl_backend="auto", sim_backend="auto"):
         if not isinstance(soc, Soc):
             raise TypeError("Emulator requires a Soc")
         self.soc = soc
         self.bus = soc.bus()
         self.rtl_backend = rtl_backend
+        #: default ISA execution tier for run()/profile(); see
+        #: :data:`repro.cpu.machine.SIM_BACKENDS`.
+        self.sim_backend = sim_backend
         if isinstance(cfu, RtlCfu):
             # cycle-accurate gateware simulation
             cfu = RtlCfuAdapter(cfu, backend=rtl_backend)
@@ -61,16 +64,26 @@ class Emulator:
         return symbols
 
     # --- execution ---------------------------------------------------------------
-    def run(self, max_instructions=5_000_000, fast=True):
+    def _resolve_backend(self, fast, backend):
+        """None resolves to the emulator's default tier (``sim_backend``)
+        when ``fast``, the reference interpreter otherwise — so legacy
+        ``fast=False`` callers still get the step loop."""
+        if backend is not None:
+            return backend
+        return self.sim_backend if fast else "step"
+
+    def run(self, max_instructions=5_000_000, fast=True, backend=None):
         machine = self.machine
+        backend = self._resolve_backend(fast, backend)
         if self.tracer is None:
-            return machine.run(max_instructions, fast=fast)
+            return machine.run(max_instructions, backend=backend)
         instret0 = machine.instret
         invalidations0 = machine.invalidation_count
-        with self.tracer.span("sim_run", fast=fast) as span:
+        promotions0 = machine.block_promotions
+        with self.tracer.span("sim_run", backend=backend) as span:
             start = time.perf_counter()
             try:
-                return machine.run(max_instructions, fast=fast)
+                return machine.run(max_instructions, backend=backend)
             finally:
                 elapsed = time.perf_counter() - start
                 instructions = machine.instret - instret0
@@ -82,9 +95,14 @@ class Emulator:
                     machine.decode_cache_entries)
                 span.attrs["cache_invalidations"] = (
                     machine.invalidation_count - invalidations0)
+                span.attrs["block_cache_entries"] = (
+                    machine.block_cache_entries)
+                span.attrs["block_promotions"] = (
+                    machine.block_promotions - promotions0)
                 self.tracer.count("sim_instructions", instructions)
 
-    def profile(self, symbols, max_instructions=5_000_000, fast=True):
+    def profile(self, symbols, max_instructions=5_000_000, fast=True,
+                backend=None):
         """Run the loaded program under the cycle profiler.
 
         ``symbols`` is the name->address table :meth:`load_assembly`
@@ -93,11 +111,12 @@ class Emulator:
         """
         from ..cpu.profiler import MachineProfiler
 
+        backend = self._resolve_backend(fast, backend)
         profiler = MachineProfiler(self.machine, symbols)
         if self.tracer is None:
-            return profiler.run(max_instructions, fast=fast)
-        with self.tracer.span("sim_profile", fast=fast) as span:
-            profile = profiler.run(max_instructions, fast=fast)
+            return profiler.run(max_instructions, backend=backend)
+        with self.tracer.span("sim_profile", backend=backend) as span:
+            profile = profiler.run(max_instructions, backend=backend)
             span.attrs["cycles"] = profile.total_cycles
             span.attrs["symbols"] = len(profile.entries)
             span.attrs["truncated"] = profile.truncated

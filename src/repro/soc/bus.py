@@ -49,6 +49,11 @@ class SocBus:
             for region in memory_map
         }
         self._page_cache = {}
+        # Parallel page cache for generated code (repro.cpu.translate):
+        # page -> (backing bytearray, region base, writable).  Kept in
+        # lockstep with _page_cache by _resolve_page; raw tuples so hot
+        # blocks index the bytearray without attribute lookups.
+        self._page_data = {}
         # Per-region traffic accounting: (region, "read"|"write") ->
         # [transactions, bytes].  None (default) keeps the hot paths to
         # a single is-None branch; enable_traffic_metrics() turns it on.
@@ -119,8 +124,11 @@ class SocBus:
                 return None
         region = self.memory_map.find(addr)
         if region.base <= lo and hi <= region.end:
-            entry = (self.backings[region.name], region.base, region.name)
+            backing = self.backings[region.name]
+            entry = (backing, region.base, region.name)
             self._page_cache[page] = entry
+            self._page_data[page] = (backing.data, region.base,
+                                     backing.writable)
             return entry
         return None
 

@@ -177,7 +177,75 @@ def test_machine_export_metrics():
     machine.export_metrics(reg)
     assert reg.value("sim_instructions") == machine.instret
     assert reg.value("sim_cycles") == machine.cycles
-    assert reg.value("sim_decode_cache_entries") == machine.decode_cache_entries
+    # Cache-size gauges are labelled by the backend tier that produced
+    # them; run() defaults to the tiered "auto" backend.
+    assert reg.value("sim_decode_cache_entries",
+                     tier="auto") == machine.decode_cache_entries
+    assert reg.value("sim_block_cache_entries",
+                     tier="auto") == machine.block_cache_entries
+
+
+def test_machine_export_metrics_block_tier():
+    from repro.cpu.machine import Machine
+
+    src = """
+        li t0, 200
+    loop:
+        addi t0, t0, -1
+        bnez t0, loop
+        ebreak
+    """
+    machine = Machine()
+    machine.hot_threshold = 4
+    machine.load_assembly(src)
+    machine.run(backend="translated")
+    assert machine.block_cache_entries >= 1
+    assert machine.block_promotions >= 1
+    reg = MetricsRegistry()
+    machine.export_metrics(reg)
+    assert reg.value("sim_block_cache_entries",
+                     tier="translated") == machine.block_cache_entries
+    assert reg.value("sim_block_promotions") == machine.block_promotions
+    assert reg.value("sim_block_invalidations") == \
+        machine.block_invalidation_count
+    assert reg.value("sim_decode_cache_entries",
+                     tier="translated") == machine.decode_cache_entries
+
+    # A pure tier-1 run labels the same gauges with its own tier, so
+    # the two backends' cache sizes are never conflated.
+    other = Machine()
+    other.load_assembly(src)
+    other.run(backend="fast")
+    assert other.block_cache_entries == 0
+    reg2 = MetricsRegistry()
+    other.export_metrics(reg2)
+    assert reg2.value("sim_decode_cache_entries",
+                      tier="fast") == other.decode_cache_entries
+    assert reg2.value("sim_block_cache_entries", tier="fast") == 0
+
+
+def test_machine_block_invalidation_metrics():
+    from repro.cpu.machine import Machine
+
+    machine = Machine()
+    machine.hot_threshold = 1
+    machine.load_assembly("""
+        li t0, 50
+    loop:
+        addi t0, t0, -1
+        bnez t0, loop
+        ebreak
+    """)
+    machine.run(backend="translated")
+    before = machine.block_invalidation_count
+    assert machine.block_cache_entries >= 1
+    # A store into the code page drops that page's blocks, exactly like
+    # the decode cache.
+    machine.halted = False
+    machine.memory.write32(4, 0x00000013)
+    machine._invalidate_store(4, 3)
+    assert machine.block_invalidation_count > before
+    assert machine.block_cache_entries == 0
 
 
 def test_bus_traffic_metrics():

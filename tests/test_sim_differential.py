@@ -1,13 +1,19 @@
-"""Differential equivalence: fast path vs the reference ``step()`` loop.
+"""Differential equivalence across the three execution backends.
 
-The fast path (decoded-instruction cache + pre-specialized dispatch,
-``Machine.run(fast=True)``) must be architecturally bit-identical to
-the reference interpreter (``Machine.step`` driven by
-``run(fast=False)``): same ``regs``, ``pc``, ``instret``, ``cycles``,
-memory contents, halt state, and exit code — with and without a timing
-model, with and without a CFU attached.  Every firmware image from
-``tests.test_integration_firmware`` and a randomized RV32IM corpus run
-through both paths here.
+Every backend of ``Machine.run`` — the reference interpreter
+(``step``), the decoded-op dispatch loop (``fast``), and the tier-2
+basic-block translation backend (``translated``) — must be
+architecturally bit-identical: same ``regs``, ``pc``, ``instret``,
+``cycles``, memory contents, CFU state, halt state, and exit code —
+with and without a timing model, with and without a CFU attached.
+Every firmware image from ``tests.test_integration_firmware`` and a
+randomized RV32IM corpus run through all backends here, plus the nasty
+cases: self-modifying code rewriting an already-promoted block, a
+branch target landing mid-block, and budget truncation.
+
+Translated runs pin ``hot_threshold = 1`` so every block promotes
+immediately — the corpus then exercises generated code rather than
+quietly staying on tier 1.
 """
 
 import numpy as np
@@ -27,6 +33,9 @@ from tests.test_integration_firmware import (
     postproc_firmware,
 )
 
+#: step first: it is the reference the others are diffed against.
+BACKENDS = ("step", "fast", "translated")
+
 
 # --- state comparison -------------------------------------------------------------
 
@@ -41,6 +50,16 @@ def machine_state(machine):
         "halted": machine.halted,
         "exit_code": machine.exit_code,
     }
+
+
+def cfu_state(cfu):
+    """Architectural CFU state (KwsCfu's registers); None-safe."""
+    if cfu is None:
+        return None
+    return {attr: getattr(cfu, attr)
+            for attr in ("acc", "mult", "shift", "output_zp",
+                         "act_min", "act_max")
+            if hasattr(cfu, attr)}
 
 
 def assert_same_memory(fast_memory, slow_memory):
@@ -58,14 +77,25 @@ def assert_same_memory(fast_memory, slow_memory):
             f"memory mismatch in region {name}")
 
 
-def assert_identical(fast_machine, slow_machine):
-    fast_state = machine_state(fast_machine)
-    slow_state = machine_state(slow_machine)
-    for key in fast_state:
-        assert fast_state[key] == slow_state[key], (
-            f"fast/slow mismatch on {key}: "
-            f"{fast_state[key]!r} != {slow_state[key]!r}")
-    assert_same_memory(fast_machine.memory, slow_machine.memory)
+def assert_identical(machine, reference, label=""):
+    state = machine_state(machine)
+    ref_state = machine_state(reference)
+    for key in state:
+        assert state[key] == ref_state[key], (
+            f"{label} mismatch on {key}: "
+            f"{state[key]!r} != {ref_state[key]!r}")
+    assert cfu_state(machine.cfu) == cfu_state(reference.cfu), (
+        f"{label} CFU state mismatch")
+    assert_same_memory(machine.memory, reference.memory)
+
+
+def assert_all_identical(machines):
+    """Lockstep comparison: every backend against the step reference."""
+    reference = machines["step"]
+    for backend, machine in machines.items():
+        if backend == "step":
+            continue
+        assert_identical(machine, reference, label=f"{backend}/step")
 
 
 # --- randomized RV32IM corpus ------------------------------------------------------
@@ -155,12 +185,14 @@ def random_program(seed, length=300, with_cfu=False):
     return "\n".join(lines)
 
 
-def run_corpus(source, timing_config, with_cfu, fast):
+def run_corpus(source, timing_config, with_cfu, backend):
     machine = Machine(
         cfu=KwsCfu() if with_cfu else None,
         timing=VexTiming(timing_config) if timing_config else None)
+    if backend == "translated":
+        machine.hot_threshold = 1
     machine.load_assembly(source)
-    machine.run(max_instructions=100_000, fast=fast)
+    machine.run(max_instructions=100_000, backend=backend)
     return machine
 
 
@@ -169,19 +201,22 @@ def run_corpus(source, timing_config, with_cfu, fast):
 @pytest.mark.parametrize("seed", range(6))
 def test_random_corpus_differential(seed, timing_config):
     source = random_program(seed)
-    fast = run_corpus(source, timing_config, with_cfu=False, fast=True)
-    slow = run_corpus(source, timing_config, with_cfu=False, fast=False)
-    assert fast.halted and slow.halted
-    assert_identical(fast, slow)
+    machines = {backend: run_corpus(source, timing_config, with_cfu=False,
+                                    backend=backend)
+                for backend in BACKENDS}
+    assert all(m.halted for m in machines.values())
+    assert machines["translated"].block_promotions > 0
+    assert_all_identical(machines)
 
 
 @pytest.mark.parametrize("seed", range(3))
 def test_random_corpus_with_cfu_differential(seed):
     source = random_program(seed + 100, with_cfu=True)
-    fast = run_corpus(source, ARTY_DEFAULT, with_cfu=True, fast=True)
-    slow = run_corpus(source, ARTY_DEFAULT, with_cfu=True, fast=False)
-    assert fast.halted and slow.halted
-    assert_identical(fast, slow)
+    machines = {backend: run_corpus(source, ARTY_DEFAULT, with_cfu=True,
+                                    backend=backend)
+                for backend in BACKENDS}
+    assert all(m.halted for m in machines.values())
+    assert_all_identical(machines)
 
 
 # --- firmware images ---------------------------------------------------------------
@@ -205,42 +240,49 @@ def firmware_emulator(cfu, seed, with_timing=True):
                          ids=["model", "gateware"])
 @pytest.mark.parametrize("seed", [0, 1])
 def test_dot_product_firmware_differential(seed, make_cfu, with_timing):
-    fast = firmware_emulator(make_cfu(), seed, with_timing)
-    slow = firmware_emulator(make_cfu(), seed, with_timing)
-    fast_exit = fast.run(fast=True)
-    slow_exit = slow.run(fast=False)
-    assert fast_exit == slow_exit
-    assert fast.uart_output == slow.uart_output == "OK"
-    assert_identical(fast.machine, slow.machine)
+    emulators, exit_codes = {}, set()
+    for backend in BACKENDS:
+        emu = firmware_emulator(make_cfu(), seed, with_timing)
+        if backend == "translated":
+            emu.machine.hot_threshold = 1
+        exit_codes.add(emu.run(backend=backend))
+        assert emu.uart_output == "OK"
+        emulators[backend] = emu
+    assert len(exit_codes) == 1
+    assert emulators["translated"].machine.block_promotions > 0
+    assert_all_identical({b: e.machine for b, e in emulators.items()})
 
 
 def test_postproc_firmware_differential():
     mult, shift, zp, bias = 0x52000000, -7, -12, 4321
-    results = []
-    for fast in (True, False):
+    machines = {}
+    for backend in BACKENDS:
         soc = Soc(ARTY_A7_35T, ARTY_DEFAULT)
         emu = Emulator(soc, cfu=KwsCfu2Rtl())
+        emu.machine.hot_threshold = 1
         emu.load_assembly(postproc_firmware(mult, shift, zp, bias),
                           region="main_ram")
-        emu.run(fast=fast)
-        results.append(emu)
-    assert_identical(results[0].machine, results[1].machine)
+        emu.run(backend=backend)
+        machines[backend] = emu.machine
+    assert_all_identical(machines)
 
 
 def test_misuse_firmware_differential():
-    """A CFU instruction with no CFU attached fails identically —
-    message and partial architectural state both match."""
+    """A CFU instruction with no CFU attached fails identically on every
+    backend — message and partial architectural state both match."""
     states, machines = [], []
-    for fast in (True, False):
+    for backend in BACKENDS:
         soc = Soc(ARTY_A7_35T, ARTY_DEFAULT)
         emu = Emulator(soc)
+        emu.machine.hot_threshold = 1
         emu.load_assembly("cfu 0, 0, a0, a1, a2", region="main_ram")
         with pytest.raises(RuntimeError, match="no CFU attached") as err:
-            emu.run(fast=fast)
+            emu.run(backend=backend)
         states.append((str(err.value), machine_state(emu.machine)))
         machines.append(emu.machine)
-    assert states[0] == states[1]
-    assert_same_memory(machines[0].memory, machines[1].memory)
+    assert states.count(states[0]) == len(states)
+    for machine in machines[1:]:
+        assert_same_memory(machine.memory, machines[0].memory)
 
 
 def test_misaligned_load_fails_identically():
@@ -250,24 +292,55 @@ def test_misaligned_load_fails_identically():
         lw x7, 2(x5)
     """
     states, machines = [], []
-    for fast in (True, False):
+    for backend in BACKENDS:
         machine = Machine()
+        machine.hot_threshold = 1
         machine.load_assembly(source)
         with pytest.raises(Exception) as err:
-            machine.run(fast=fast)
+            machine.run(backend=backend)
         states.append((type(err.value).__name__, str(err.value),
                        machine_state(machine)))
         machines.append(machine)
-    assert states[0] == states[1]
-    assert_same_memory(machines[0].memory, machines[1].memory)
+    assert states.count(states[0]) == len(states)
+    for machine in machines[1:]:
+        assert_same_memory(machine.memory, machines[0].memory)
+
+
+# --- budget truncation -------------------------------------------------------------
+
+@pytest.mark.parametrize("budget", [7, 50, 101, 250])
+def test_budget_truncation_differential(budget):
+    """Exhausting the instruction budget mid-loop leaves identical
+    partial state on every backend — including budgets that land in the
+    middle of a promoted block, where the translated tier must refuse
+    the whole-block dispatch and finish on tier 1."""
+    source = """
+        li t0, 1000
+        li t1, 0
+    loop:
+        addi t1, t1, 3
+        addi t0, t0, -1
+        bnez t0, loop
+        ebreak
+    """
+    states = []
+    for backend in BACKENDS:
+        machine = Machine(timing=VexTiming(ARTY_DEFAULT))
+        machine.hot_threshold = 1
+        machine.load_assembly(source)
+        with pytest.raises(RuntimeError, match="budget exhausted"):
+            machine.run(max_instructions=budget, backend=backend)
+        states.append(machine_state(machine))
+    assert states.count(states[0]) == len(states), (
+        f"budget={budget}: {states}")
 
 
 # --- self-modifying code -----------------------------------------------------------
 
 def test_self_modifying_code_differential():
     """A loop that rewrites its own add-immediate each iteration: the
-    decode cache must observe the store (page invalidation) so the fast
-    path sums 1 + 2*4 = 9 exactly like the reference path."""
+    decode cache must observe the store (page invalidation) so every
+    backend sums 1 + 2*4 = 9 exactly like the reference path."""
     from repro.cpu.assembler import assemble
 
     patched, _ = assemble("addi x6, x6, 2")
@@ -287,13 +360,94 @@ def test_self_modifying_code_differential():
         li   a7, 93
         ecall
     """
-    machines = []
-    for fast in (True, False):
+    machines = {}
+    for backend in BACKENDS:
         machine = Machine(timing=VexTiming(ARTY_DEFAULT))
+        machine.hot_threshold = 1
         machine.load_assembly(source)
-        machine.run(fast=fast)
-        machines.append(machine)
-    fast_machine, slow_machine = machines
-    assert fast_machine.regs[10] == 1 + 2 * 4
-    assert fast_machine.invalidation_count > 0
-    assert_identical(fast_machine, slow_machine)
+        machine.run(backend=backend)
+        machines[backend] = machine
+    assert machines["fast"].regs[10] == 1 + 2 * 4
+    assert machines["fast"].invalidation_count > 0
+    assert_all_identical(machines)
+
+
+def test_smc_rewrites_promoted_block():
+    """Self-modifying code that patches a block *after* it has been
+    promoted to generated code: iteration 1 runs (and promotes, with
+    hot_threshold=1) the original block; its store then rewrites an
+    instruction inside that very block, so the translated tier must
+    invalidate the generated function and re-translate — landing on the
+    same architectural results as the reference interpreter."""
+    from repro.cpu.assembler import assemble
+
+    patched, _ = assemble("addi x6, x6, 10")
+    patched_word = int.from_bytes(patched, "little")
+    source = f"""
+        li   x7, 6              # iterations
+        li   x6, 0              # sum
+        la   x8, patch
+        li   x9, {patched_word}
+        j    loop
+    loop:
+    patch:
+        addi x6, x6, 1          # becomes 'addi x6, x6, 10' after 1st pass
+        sw   x9, 0(x8)
+        addi x7, x7, -1
+        bnez x7, loop
+        mv   a0, x6
+        li   a7, 93
+        ecall
+    """
+    machines = {}
+    for backend in BACKENDS:
+        machine = Machine(timing=VexTiming(ARTY_DEFAULT))
+        machine.hot_threshold = 1
+        machine.load_assembly(source)
+        machine.run(backend=backend)
+        machines[backend] = machine
+    translated = machines["translated"]
+    assert translated.regs[10] == 1 + 10 * 5
+    assert translated.block_promotions > 0
+    assert translated.block_invalidation_count > 0
+    assert_all_identical(machines)
+
+
+def test_branch_target_lands_mid_block():
+    """A jump target in the *middle* of an already-promoted block: the
+    first phase promotes the whole loop body; the second phase enters at
+    ``mid``, which never headed a block before.  The translated tier
+    must treat the mid-block pc as a fresh block leader (or fall back to
+    tier 1) — never execute the containing block from its old entry."""
+    source = """
+        li   t0, 20
+        li   t1, 0
+        li   t2, 0              # phase flag
+    loop:
+        addi t1, t1, 1
+    mid:
+        addi t1, t1, 100
+        addi t0, t0, -1
+        bnez t0, loop
+        bnez t2, done           # second fall-through ends the program
+        li   t2, 1
+        li   t0, 10
+        j    mid                # phase 2: enter mid-block, skip the +1
+    done:
+        mv   a0, t1
+        li   a7, 93
+        ecall
+    """
+    machines = {}
+    for backend in BACKENDS:
+        machine = Machine(timing=VexTiming(ARTY_DEFAULT))
+        machine.hot_threshold = 1
+        machine.load_assembly(source)
+        machine.run(backend=backend)
+        machines[backend] = machine
+    translated = machines["translated"]
+    assert translated.halted
+    # phase 1: 20x(+1+100); phase 2: +100 at entry, then 9x(+1+100).
+    assert translated.regs[10] == 20 * 101 + 100 + 9 * 101
+    assert translated.block_promotions > 0
+    assert_all_identical(machines)
