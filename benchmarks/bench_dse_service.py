@@ -1,0 +1,221 @@
+"""DSE study-service benchmark: throughput, warm resume, scaling.
+
+Three measurements at Fig. 7 shape (three CFU families over the
+VexRiscv space), landed in ``BENCH_dse.json`` at the repo root:
+
+- **throughput** — a cold 2-worker service run with real evaluations:
+  end-to-end trials/sec over the wire (suggest + evaluate + complete +
+  store round-trips), cache hit rate, and golden-equality against the
+  in-process ``run_fig7`` engine;
+- **warm resume** — the same studies rerun against the shared
+  content-addressed evaluation cache: the run must re-simulate
+  *nothing* (zero evaluations, 100% cache hits);
+- **scaling** — 1 vs 4 workers under a fixed-latency evaluation model
+  (each trial sleeps ``REPRO_DSE_EVAL_LATENCY``), which isolates the
+  *scheduler's* ability to overlap in-flight trials from the host's
+  core count — the paper's Vizier fleet scales by adding evaluation
+  hosts, and single-core CI must still prove the overlap.
+
+Knobs:
+- ``REPRO_DSE_TRIALS``        trials per family, throughput/warm runs
+                              (default 40)
+- ``REPRO_DSE_SCALING_TRIALS``trials per family, scaling runs
+                              (default 16)
+- ``REPRO_DSE_EVAL_LATENCY``  modeled seconds per trial in the scaling
+                              runs (default 0.015)
+- ``REPRO_DSE_TPS_MIN``       trials/sec floor for the cold run
+                              (default 25.0)
+- ``REPRO_DSE_SCALING_MIN``   4-worker-over-1-worker speedup floor
+                              (default 2.0)
+"""
+
+import json
+import os
+import time
+
+from repro.dse import (
+    CFU_FAMILIES,
+    DseService,
+    ServiceClient,
+    ServiceThread,
+    WorkerFleet,
+    create_fig7_studies,
+    run_fig7,
+    run_fig7_service,
+    wait_for_studies,
+)
+
+TRIALS = int(os.environ.get("REPRO_DSE_TRIALS", "40"))
+SCALING_TRIALS = int(os.environ.get("REPRO_DSE_SCALING_TRIALS", "16"))
+EVAL_LATENCY = float(os.environ.get("REPRO_DSE_EVAL_LATENCY", "0.015"))
+TPS_MIN = float(os.environ.get("REPRO_DSE_TPS_MIN", "25.0"))
+SCALING_MIN = float(os.environ.get("REPRO_DSE_SCALING_MIN", "2.0"))
+BENCH_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_dse.json")
+
+SEED = 0
+
+
+def fingerprint(result):
+    return {family: [(p.key(), p.metrics)
+                     for p in result.family_front(family)]
+            for family in CFU_FAMILIES}
+
+
+def service_stats(service):
+    """Fold the per-study service counters the benchmark reports."""
+    totals = {"lease_reclaims": 0, "duplicate_completions": 0,
+              "stale_completions": 0, "store_unreadable_trials": 0}
+    for series in service.metrics.series():
+        for name in totals:
+            if series.name == f"dse_{name}":
+                totals[name] += series.value
+    return totals
+
+
+def measure_throughput(cache_dir, golden):
+    service = DseService()
+    with ServiceThread(service) as handle:
+        result, info = run_fig7_service(
+            service_url=handle.url, trials_per_family=TRIALS, seed=SEED,
+            workers=2, cache_dir=cache_dir, prefix="cold-")
+        stats = service_stats(service)
+    return {
+        "workers": 2,
+        "trials_completed": info["trials_completed"],
+        "elapsed_seconds": round(info["elapsed_seconds"], 4),
+        "trials_per_sec": round(info["trials_per_sec"], 1),
+        "evaluations": info["evaluations"],
+        "cache_hits": info["cache_hits"],
+        "cache_hit_rate": round(
+            info["cache_hits"] / max(1, info["trials_completed"]), 4),
+        "client_retries": info["client_retries"],
+        "service_counters": stats,
+        "golden_equal": fingerprint(result) == golden,
+    }
+
+
+def measure_warm_resume(cache_dir, golden):
+    result, info = run_fig7_service(
+        trials_per_family=TRIALS, seed=SEED, workers=2,
+        cache_dir=cache_dir, prefix="warm-")
+    hit_rate = info["cache_hits"] / max(1, info["trials_completed"])
+    return {
+        "trials_completed": info["trials_completed"],
+        "evaluations": info["evaluations"],
+        "cache_hit_rate": round(hit_rate, 4),
+        "trials_per_sec": round(info["trials_per_sec"], 1),
+        "golden_equal": fingerprint(result) == golden,
+        "passed": info["evaluations"] == 0 and hit_rate == 1.0,
+    }
+
+
+def measure_scaling_point(workers):
+    """One fixed-latency run: elapsed wall clock for the whole study
+    set with ``workers`` pullers overlapping their modeled latency."""
+    service = DseService()
+    with ServiceThread(service) as handle:
+        client = ServiceClient(handle.url, worker_id="bench-orchestrator")
+        try:
+            names = create_fig7_studies(client, SCALING_TRIALS, seed=1,
+                                        prefix=f"scale{workers}-")
+            fleet = WorkerFleet(handle.url, workers=workers,
+                                eval_latency=EVAL_LATENCY,
+                                poll_interval=0.001)
+            started = time.monotonic()
+            fleet.start()
+            statuses = wait_for_studies(client, names, timeout=600.0)
+            fleet.join(timeout=30.0)
+            elapsed = time.monotonic() - started
+            completed = sum(s["completed"] for s in statuses)
+        finally:
+            client.close()
+    return {
+        "workers": workers,
+        "trials_completed": completed,
+        "elapsed_seconds": round(elapsed, 4),
+        "trials_per_sec": round(completed / elapsed, 1),
+    }
+
+
+def test_dse_service_benchmark(report, tmp_path):
+    golden = fingerprint(run_fig7(trials_per_family=TRIALS, seed=SEED))
+    cache_dir = str(tmp_path / "eval-cache")
+
+    throughput = measure_throughput(cache_dir, golden)
+    warm = measure_warm_resume(cache_dir, golden)
+    points = [measure_scaling_point(workers) for workers in (1, 4)]
+    speedup = round(points[0]["elapsed_seconds"]
+                    / points[1]["elapsed_seconds"], 2)
+
+    payload = {
+        "benchmark": "dse_service",
+        "generated_by": "benchmarks/bench_dse_service.py",
+        "trials_per_family": TRIALS,
+        "families": len(CFU_FAMILIES),
+        "throughput": dict(throughput,
+                           threshold_trials_per_sec=TPS_MIN,
+                           passed=(throughput["trials_per_sec"] >= TPS_MIN
+                                   and throughput["golden_equal"])),
+        "warm_resume": warm,
+        "scaling": {
+            "description": ("fixed-latency evaluation model "
+                            "(eval_latency sleep per trial) so the "
+                            "measured speedup is scheduler overlap, "
+                            "not host core count"),
+            "trials_per_family": SCALING_TRIALS,
+            "eval_latency_seconds": EVAL_LATENCY,
+            "points": points,
+            "speedup_4_over_1": speedup,
+            "threshold": SCALING_MIN,
+            "passed": speedup >= SCALING_MIN,
+        },
+        "headline": {
+            "description": ("cold 2-worker service throughput over the "
+                            "wire; warm resume must re-simulate "
+                            "nothing; 4-worker overlap speedup under "
+                            "the fixed-latency model"),
+            "trials_per_sec": throughput["trials_per_sec"],
+            "warm_evaluations": warm["evaluations"],
+            "warm_cache_hit_rate": warm["cache_hit_rate"],
+            "scaling_speedup": speedup,
+            "passed": (throughput["trials_per_sec"] >= TPS_MIN
+                       and throughput["golden_equal"]
+                       and warm["passed"] and warm["golden_equal"]
+                       and speedup >= SCALING_MIN),
+        },
+    }
+    with open(BENCH_PATH, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+    report(f"DSE service benchmark ({TRIALS} trials/family x "
+           f"{len(CFU_FAMILIES)} families)")
+    report(f"cold 2-worker run : {throughput['trials_per_sec']:>8.1f} "
+           f"trials/sec ({throughput['evaluations']} evaluations, "
+           f"{throughput['cache_hit_rate']:.0%} cache hits, "
+           f"golden={'yes' if throughput['golden_equal'] else 'NO'})")
+    report(f"warm resume       : {warm['trials_per_sec']:>8.1f} "
+           f"trials/sec ({warm['evaluations']} evaluations, "
+           f"{warm['cache_hit_rate']:.0%} cache hits)")
+    for point in points:
+        report(f"scaling {point['workers']} worker(s): "
+               f"{point['elapsed_seconds']:>8.3f}s for "
+               f"{point['trials_completed']} modeled-latency trials "
+               f"({point['trials_per_sec']:.1f}/sec)")
+    report(f"overlap speedup   : {speedup:.2f}x "
+           f"(threshold {SCALING_MIN:.1f}x)")
+    report(f"[BENCH_dse.json written to {os.path.abspath(BENCH_PATH)}]")
+
+    assert throughput["golden_equal"], \
+        "service run diverged from the in-process engine"
+    assert warm["golden_equal"], \
+        "warm resume diverged from the in-process engine"
+    assert warm["evaluations"] == 0, (
+        f"warm resume re-simulated {warm['evaluations']} trials "
+        f"(must be 0)")
+    assert throughput["trials_per_sec"] >= TPS_MIN, (
+        f"cold service throughput {throughput['trials_per_sec']} "
+        f"trials/sec (needs >= {TPS_MIN})")
+    assert speedup >= SCALING_MIN, (
+        f"4-worker overlap speedup only {speedup}x "
+        f"(needs >= {SCALING_MIN}x)")

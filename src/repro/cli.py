@@ -102,6 +102,8 @@ def _cmd_dse(args):
     from .dse import run_fig7, total_space_size
 
     print(f"design space: {total_space_size():,} points")
+    if args.service_url:
+        return _dse_via_service(args)
     tracer = Tracer()
     result = run_fig7(trials_per_family=args.trials, seed=args.seed,
                       workers=args.workers, batch=args.batch,
@@ -113,6 +115,57 @@ def _cmd_dse(args):
     if args.trace_out:
         records = tracer.export_jsonl(args.trace_out)
         print(f"trace written to {args.trace_out} ({records} records)")
+    return 0
+
+
+def _dse_via_service(args):
+    from .dse import run_fig7_service
+
+    result, info = run_fig7_service(
+        service_url=args.service_url, trials_per_family=args.trials,
+        seed=args.seed, workers=args.workers, batch=args.batch,
+        cache_dir=args.cache_dir, sim_backend=args.sim_backend)
+    print(result.summary())
+    print()
+    print(f"service run: {info['trials_completed']} trials in "
+          f"{info['elapsed_seconds']:.2f}s "
+          f"({info['trials_per_sec']:.1f} trials/sec), "
+          f"{info['cache_hits']} cache hits, "
+          f"{info['evaluations']} evaluations, "
+          f"{info['client_retries']} transport retries")
+    return 0
+
+
+def _cmd_dse_serve(args):
+    from .dse import DseService, serve
+
+    service = DseService(store_dir=args.store_dir,
+                         lease_seconds=args.lease_seconds)
+    resumed = [name for name, study in sorted(service.studies.items())]
+    if resumed:
+        print(f"resumed {len(resumed)} studies from {args.store_dir}:")
+        for name in resumed:
+            status = service.studies[name].status()
+            print(f"  {name}: {status['state']} "
+                  f"{status['completed']}/{status['budget']} trials")
+    print(f"serving the DSE study service on "
+          f"http://{args.host}:{args.port} "
+          f"(store: {args.store_dir or 'in-memory'})")
+    serve(service, host=args.host, port=args.port)
+    return 0
+
+
+def _cmd_dse_work(args):
+    from .dse import run_worker
+
+    stats = run_worker(args.url, worker_id=args.worker_id,
+                       cache_dir=args.cache_dir,
+                       poll_interval=args.poll_interval,
+                       max_trials=args.max_trials,
+                       sim_backend=args.sim_backend)
+    print(f"worker {args.worker_id}: {stats.completed} completed "
+          f"({stats.cache_hits} cache hits, {stats.infeasible} infeasible, "
+          f"{stats.stale_leases} stale leases)")
     return 0
 
 
@@ -208,12 +261,15 @@ def build_parser():
     ladder.add_argument("figure", choices=("fig4", "fig6"))
     ladder.set_defaults(func=_cmd_ladder)
 
-    dse = sub.add_parser("dse", help="run the Fig. 7 DSE")
+    dse = sub.add_parser(
+        "dse", help="run the Fig. 7 DSE (see also: dse serve, dse work)")
     dse.add_argument("--trials", type=int, default=60,
                      help="trials per CFU family")
     dse.add_argument("--seed", type=int, default=0)
     dse.add_argument("--workers", type=_positive_int, default=1,
-                     help="processes to shard evaluation batches across")
+                     help="processes to shard evaluation batches across "
+                          "(with --service-url: local worker threads "
+                          "joining the service pool)")
     dse.add_argument("--batch", type=_positive_int, default=None,
                      help="trials per scheduling round (default 8; "
                           "independent of --workers, so results are "
@@ -224,8 +280,43 @@ def build_parser():
     dse.add_argument("--trace-out", default=None,
                      help="write a JSONL trace (trial spans, progress "
                           "events, counters) here")
+    dse.add_argument("--service-url", default=None,
+                     help="run through a DSE study service (repro dse "
+                          "serve) instead of in-process: submits the "
+                          "three Fig. 7 studies and joins local workers "
+                          "to its pool; the Pareto fronts are identical "
+                          "to the in-process engine")
     _add_sim_backend_flag(dse)
     dse.set_defaults(func=_cmd_dse)
+
+    dse_sub = dse.add_subparsers(dest="dse_command")
+    dse_serve = dse_sub.add_parser(
+        "serve", help="serve the study/trial HTTP API (crash-safe, "
+                      "resumable studies)")
+    dse_serve.add_argument("--host", default="127.0.0.1")
+    dse_serve.add_argument("--port", type=int, default=8733)
+    dse_serve.add_argument("--store-dir", default=None,
+                           help="persistent sharded study store; a "
+                                "restarted server resumes every study "
+                                "from it")
+    dse_serve.add_argument("--lease-seconds", type=float, default=60.0,
+                           help="worker lease before an in-flight trial "
+                                "is re-issued")
+    dse_serve.set_defaults(func=_cmd_dse_serve)
+
+    dse_work = dse_sub.add_parser(
+        "work", help="run one evaluation worker against a service")
+    dse_work.add_argument("--url", default="http://127.0.0.1:8733")
+    dse_work.add_argument("--worker-id", default="worker-0")
+    dse_work.add_argument("--cache-dir", default=None,
+                          help="shared content-addressed evaluation "
+                               "cache (zero re-simulation on warm runs)")
+    dse_work.add_argument("--poll-interval", type=float, default=0.05)
+    dse_work.add_argument("--max-trials", type=int, default=None,
+                          help="stop after this many claims (default: "
+                               "run until every study is done)")
+    _add_sim_backend_flag(dse_work)
+    dse_work.set_defaults(func=_cmd_dse_work)
 
     rep = sub.add_parser("report",
                          help="generate the full experiment report")

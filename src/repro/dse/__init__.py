@@ -15,18 +15,46 @@ from .runner import (
     run_fig7,
     total_space_size,
 )
+from .service import (
+    DEFAULT_LEASE_SECONDS,
+    DseHttpServer,
+    DseService,
+    FaultInjector,
+    ServiceError,
+    ServiceStudy,
+    ServiceThread,
+    serve,
+)
 from .space import CACHE_SIZES, Parameter, ParameterSpace, point_to_cpu_config, vexriscv_space
+from .store import STORE_SCHEMA_VERSION, StudyStore, TrialRecord
 from .study import MAXIMIZE, MINIMIZE, MetricGoal, Study, Trial
 from .vizier import StudyClient, VizierError, VizierService
+from .worker import (
+    ClientError,
+    ServiceClient,
+    ServiceUnavailable,
+    StaleLeaseError,
+    WorkerFleet,
+    create_fig7_studies,
+    fetch_result,
+    run_fig7_service,
+    run_worker,
+    wait_for_studies,
+)
 
 __all__ = [
-    "CACHE_SCHEMA_VERSION", "CACHE_SIZES", "CFU_FAMILIES", "DEFAULT_BATCH",
-    "DsePoint", "DseResult", "EvalOutcome", "EvaluationCache",
-    "Fig7Evaluator", "MAXIMIZE", "MINIMIZE", "MISS", "MetricGoal",
-    "MultiprocessingBackend", "Parameter", "ParameterSpace", "RandomSearch",
-    "RegularizedEvolution", "SerialBackend", "Study", "TpeLite", "Trial",
-    "WorkerPool", "WorkerPoolError", "cache_key", "dominates",
-    "evaluate_design", "hypervolume_2d", "pareto_front",
-    "point_to_cpu_config", "run_fig7", "StudyClient", "VizierError",
-    "VizierService", "total_space_size", "vexriscv_space",
+    "CACHE_SCHEMA_VERSION", "CACHE_SIZES", "CFU_FAMILIES", "ClientError",
+    "DEFAULT_BATCH", "DEFAULT_LEASE_SECONDS", "DseHttpServer", "DsePoint",
+    "DseResult", "DseService", "EvalOutcome", "EvaluationCache",
+    "FaultInjector", "Fig7Evaluator", "MAXIMIZE", "MINIMIZE", "MISS",
+    "MetricGoal", "MultiprocessingBackend", "Parameter", "ParameterSpace",
+    "RandomSearch", "RegularizedEvolution", "STORE_SCHEMA_VERSION",
+    "SerialBackend", "ServiceClient", "ServiceError", "ServiceStudy",
+    "ServiceThread", "ServiceUnavailable", "StaleLeaseError", "Study",
+    "StudyClient", "StudyStore", "TpeLite", "Trial", "TrialRecord",
+    "VizierError", "VizierService", "WorkerFleet", "WorkerPool",
+    "WorkerPoolError", "cache_key", "create_fig7_studies", "dominates",
+    "evaluate_design", "fetch_result", "hypervolume_2d", "pareto_front",
+    "point_to_cpu_config", "run_fig7", "run_fig7_service", "run_worker",
+    "serve", "total_space_size", "vexriscv_space", "wait_for_studies",
 ]

@@ -17,7 +17,10 @@ def pareto_front(points, key=None):
     """Non-dominated subset of ``points`` (minimization).
 
     ``key(point)`` extracts the metric tuple; defaults to identity.
-    Returns the front sorted by the first objective.
+    Returns the front sorted by the full metric tuple — a value-based
+    order, so two runs that discover the same front in different
+    completion orders (serial vs parallel workers, or a resumed service
+    study) render it identically.
     """
     key = key or (lambda p: p)
     front = []
@@ -35,7 +38,7 @@ def pareto_front(points, key=None):
         if not dominated:
             survivors.append(candidate)
             front = survivors
-    return sorted(front, key=lambda p: key(p)[0])
+    return sorted(front, key=key)
 
 
 def hypervolume_2d(front, reference):

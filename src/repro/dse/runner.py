@@ -132,13 +132,33 @@ class DseResult:
     def family_front(self, family):
         # Distinct configurations may share identical metrics (e.g. cache
         # ways with no cache); keep one representative per metric point.
+        # The representative is chosen by value (smallest config key),
+        # never by insertion order — service runs complete trials in a
+        # worker-dependent order, and the front must not depend on it.
         unique = {}
         for point in self.family_points(family):
-            unique.setdefault(point.metrics, point)
+            existing = unique.get(point.metrics)
+            if existing is None or point.key() < existing.key():
+                unique[point.metrics] = point
         return pareto_front(list(unique.values()), key=lambda p: p.metrics)
 
     def overall_front(self):
         return pareto_front(self.points, key=lambda p: p.metrics)
+
+    def to_records(self):
+        """Wire/disk form: one plain-JSON record per point, in insertion
+        order.  Round-trips through :meth:`from_records` by value."""
+        return [p.to_record() for p in self.points]
+
+    @classmethod
+    def from_records(cls, records):
+        """Rebuild from :meth:`to_records` output (e.g. fetched from the
+        study service).  Dedup is by value — records that name the same
+        configuration twice count once, exactly like :meth:`add`."""
+        result = cls()
+        for record in records:
+            result.add(DsePoint.from_record(record))
+        return result
 
     def summary(self):
         lines = []

@@ -1,0 +1,902 @@
+"""The DSE study service: an asyncio HTTP server over the Study engine.
+
+The paper runs its ~93,000-point Fig. 7 exploration on OSS Vizier — a
+long-running *service* with a study/trial wire API, not an in-process
+loop.  This module is that shape for the reproduction:
+
+- **Wire API** — ``POST /studies`` (create), ``POST .../suggest`` and
+  ``POST /work`` (claim suggestion batches), ``POST
+  .../trials/<id>/complete``, ``GET .../pareto`` and the chunked
+  NDJSON ``GET .../pareto-stream``, study status/listing, and a
+  ``GET /metrics`` snapshot of the shared
+  :class:`~repro.core.metrics.MetricsRegistry`.
+
+- **Lease protocol** — a claimed trial carries a lease token and a
+  wall-clock deadline.  Completion must present the token; an expired
+  lease is reclaimed and the trial re-issued *exactly once per expiry*
+  (a fresh token), so a crashed worker's trial is recovered and its
+  late completion is rejected as stale rather than double-counted.
+
+- **Determinism barrier** — trials are suggested in fixed rounds of
+  ``batch`` (the engine's :data:`~repro.dse.runner.DEFAULT_BATCH`
+  discipline): round *N+1* is only suggested once round *N* is fully
+  complete.  Suggestion-time algorithm state is therefore identical to
+  the in-process engine regardless of worker count or completion
+  order, which is what makes the service's Pareto fronts golden-equal
+  to ``run_fig7``.
+
+- **Crash-safe resume** — every suggestion, claim, and completion is
+  persisted to a :class:`~repro.dse.store.StudyStore` before it is
+  acknowledged.  A restarted server *replays* each study: suggestions
+  are re-derived round by round (regenerating the algorithm's RNG
+  state exactly), persisted completions are re-applied, live leases
+  are re-adopted, and expired or torn ones are re-issued.
+
+- **Fairness** — ``POST /work`` round-robins claims across active
+  studies, and each study caps its in-flight leases at
+  ``max_inflight``, so concurrent studies share one worker pool.
+
+The server is single-threaded asyncio with synchronous handlers, so
+every state transition is atomic with respect to the wire — no locks.
+Failure injection for the test suite lives in :class:`FaultInjector`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+
+from ..core.metrics import MetricsRegistry
+from .algorithms import RandomSearch, RegularizedEvolution, TpeLite
+from .pareto import pareto_front
+from .runner import DEFAULT_BATCH
+from .space import Parameter, ParameterSpace, vexriscv_space
+from .store import CLAIMED, COMPLETED, PENDING, StudyStore, TrialRecord
+from .study import MetricGoal, Study
+
+SERVICE_SCHEMA_VERSION = 1
+
+#: Seconds a worker holds a claimed trial before it is re-issued.
+DEFAULT_LEASE_SECONDS = 60.0
+
+#: Study lifecycle states.
+ACTIVE = "ACTIVE"
+STOPPED = "STOPPED"
+DONE = "DONE"
+
+#: Histogram buckets for per-trial evaluation seconds.
+TRIAL_SECONDS_BUCKETS = (0.001, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0)
+
+ALGORITHMS = {
+    "random": RandomSearch,
+    "regularized_evolution": RegularizedEvolution,
+    "tpe": TpeLite,
+}
+
+
+class ServiceError(Exception):
+    """A request the service refuses; carries the HTTP status."""
+
+    def __init__(self, message, status=400):
+        super().__init__(message)
+        self.status = status
+
+
+def build_space(spec):
+    """A ParameterSpace from its wire form: a registered name, or an
+    inline ``{"parameters": [{"name", "values"}, ...]}`` document
+    (values must be JSON scalars — they round-trip the wire)."""
+    if spec == "vexriscv":
+        return vexriscv_space()
+    if isinstance(spec, dict) and "parameters" in spec:
+        return ParameterSpace([
+            Parameter(str(p["name"]), tuple(p["values"]))
+            for p in spec["parameters"]
+        ])
+    raise ServiceError(f"unknown space spec {spec!r}")
+
+
+def space_to_spec(space):
+    """The inline wire form of a ParameterSpace."""
+    return {"parameters": [{"name": p.name, "values": list(p.values)}
+                           for p in space]}
+
+
+def build_algorithm(name):
+    try:
+        return ALGORITHMS[name]()
+    except KeyError:
+        raise ServiceError(
+            f"unknown algorithm {name!r} "
+            f"(expected one of {', '.join(sorted(ALGORITHMS))})") from None
+
+
+def normalize_config(config):
+    """Fill defaults and validate a study config document."""
+    config = dict(config)
+    for required in ("owner", "study_id", "budget"):
+        if required not in config:
+            raise ServiceError(f"study config is missing {required!r}")
+    config["owner"] = str(config["owner"])
+    config["study_id"] = str(config["study_id"])
+    config["budget"] = int(config["budget"])
+    if config["budget"] < 1:
+        raise ServiceError(f"budget must be >= 1, got {config['budget']}")
+    config.setdefault("family", "none")
+    config.setdefault("space", "vexriscv")
+    config.setdefault("goals", ["cycles", "logic_cells"])
+    config["goals"] = [
+        g if isinstance(g, dict) else {"name": str(g), "goal": "minimize"}
+        for g in config["goals"]
+    ]
+    config.setdefault("algorithm", "regularized_evolution")
+    config.setdefault("seed", 0)
+    config["batch"] = int(config.get("batch") or DEFAULT_BATCH)
+    if config["batch"] < 1:
+        raise ServiceError(f"batch must be >= 1, got {config['batch']}")
+    config["max_inflight"] = int(config.get("max_inflight")
+                                 or config["batch"])
+    config.setdefault("state", ACTIVE)
+    # eagerly validate the references so creation fails fast
+    build_space(config["space"])
+    build_algorithm(config["algorithm"])
+    return config
+
+
+def resource_name(owner, study_id):
+    return f"owners/{owner}/studies/{study_id}"
+
+
+class FaultInjector:
+    """Planned failures for the adversarial suite.
+
+    ``plan(route, count, kind)`` queues faults on a logical route
+    (``"suggest"``, ``"complete"``, ``"work"``, ...): ``"error"``
+    answers with an HTTP 5xx, ``"drop"`` severs the connection without
+    executing the handler, and ``"drop_after"`` executes the handler
+    but severs the connection before the response — the lost-response
+    case that forces the client to retry an already-applied request.
+    Faults are consumed FIFO, one per matching request.
+    """
+
+    def __init__(self):
+        self._plans = {}
+        self.injected = 0
+
+    def plan(self, route, count=1, kind="error", status=500):
+        if kind not in ("error", "drop", "drop_after"):
+            raise ValueError(f"unknown fault kind {kind!r}")
+        self._plans.setdefault(route, []).extend([(kind, status)] * count)
+
+    def take(self, route):
+        plans = self._plans.get(route)
+        if plans:
+            self.injected += 1
+            return plans.pop(0)
+        return None
+
+    def pending(self):
+        return sum(len(v) for v in self._plans.values())
+
+    def clear(self):
+        self._plans.clear()
+
+
+class ServiceStudy:
+    """One study's runtime: the optimizer, the lease book, the queue."""
+
+    def __init__(self, service, config):
+        self.service = service
+        self.config = config
+        self.owner = config["owner"]
+        self.study_id = config["study_id"]
+        self.resource_name = resource_name(self.owner, self.study_id)
+        self.state = config["state"]
+        self.study = Study(
+            space=build_space(config["space"]),
+            goals=[MetricGoal(g["name"], g.get("goal", "minimize"))
+                   for g in config["goals"]],
+            algorithm=build_algorithm(config["algorithm"]),
+            name=self.study_id,
+            seed=config["seed"],
+        )
+        self.records = {}          # trial_id -> TrialRecord
+        self.queue = []            # assignable trial ids, FIFO
+        self._claims = 0           # lease token nonce
+        self._subscribers = []     # asyncio queues for pareto-stream
+        self._front_keys = None
+        self._started_mono = None  # first claim (for trials/sec)
+        self._elapsed = 0.0
+
+    # --- shorthands ---------------------------------------------------------------
+    @property
+    def budget(self):
+        return self.config["budget"]
+
+    @property
+    def batch(self):
+        return self.config["batch"]
+
+    def _counter(self, name):
+        return self.service.metrics.counter(name, study=self.study_id)
+
+    def _persist_trial(self, record):
+        self.service.store.write_trial(self.owner, self.study_id, record)
+
+    def _persist_state(self):
+        self.config["state"] = self.state
+        self.service.store.write_study(self.config)
+
+    def _set_state(self, state):
+        if state != self.state:
+            self.state = state
+            self._persist_state()
+            if state in (DONE, STOPPED):
+                self._notify(done=True)
+
+    # --- scheduling ---------------------------------------------------------------
+    def completed_count(self):
+        return sum(1 for r in self.records.values() if r.state == COMPLETED)
+
+    def inflight(self):
+        return sum(1 for r in self.records.values() if r.state == CLAIMED)
+
+    def _reclaim_expired(self):
+        now = self.service.clock()
+        for record in self.records.values():
+            if record.state == CLAIMED and record.lease_deadline <= now:
+                record.state = PENDING
+                record.lease_token = ""
+                record.worker = ""
+                self._persist_trial(record)
+                self.queue.append(record.trial_id)
+                self._counter("dse_lease_reclaims").inc()
+        self.queue.sort()  # reclaimed work keeps deterministic order
+
+    def _ensure_round(self):
+        """Suggest the next fixed-size round iff the previous one is
+        fully complete (the determinism barrier)."""
+        if self.state != ACTIVE:
+            return
+        suggested = len(self.study.trials)
+        if suggested >= self.budget:
+            return
+        if any(r.state != COMPLETED for r in self.records.values()):
+            return
+        count = min(self.batch, self.budget - suggested)
+        for trial in self.study.suggest(count):
+            record = TrialRecord(trial_id=trial.trial_id,
+                                 parameters=dict(trial.parameters))
+            self.records[trial.trial_id] = record
+            self._persist_trial(record)
+            self.queue.append(trial.trial_id)
+        self._counter("dse_trials_suggested").add(count)
+
+    def claim(self, worker_id, count=1):
+        """Lease up to ``count`` assignable trials to ``worker_id``."""
+        if self.state != ACTIVE:
+            return []
+        if self._started_mono is None:
+            self._started_mono = time.monotonic()
+        self._reclaim_expired()
+        self._ensure_round()
+        granted = []
+        while (self.queue and len(granted) < count
+               and self.inflight() < self.config["max_inflight"]):
+            record = self.records[self.queue.pop(0)]
+            self._claims += 1
+            record.state = CLAIMED
+            record.worker = str(worker_id)
+            record.lease_token = f"{self.study_id}/{record.trial_id}#{self._claims}"
+            record.lease_deadline = (self.service.clock()
+                                     + self.service.lease_seconds)
+            self._persist_trial(record)
+            granted.append(record)
+        self._export_gauges()
+        return granted
+
+    def complete(self, trial_id, lease_token, metrics=None, infeasible=False,
+                 cache_hit=False, seconds=0.0, worker_id=""):
+        """Apply one completion; idempotent per lease, stale-safe."""
+        record = self.records.get(trial_id)
+        if record is None:
+            raise ServiceError(f"no trial {trial_id} in {self.resource_name}",
+                               status=404)
+        if record.state == COMPLETED:
+            if lease_token and lease_token == record.lease_token:
+                # the worker's retry of a completion whose response was
+                # lost: already applied, simply acknowledge
+                self._counter("dse_duplicate_completions").inc()
+                return {"ok": True, "duplicate": True}
+            self._counter("dse_stale_completions").inc()
+            raise ServiceError(
+                f"trial {trial_id} already completed under another lease",
+                status=409)
+        if record.state != CLAIMED or lease_token != record.lease_token:
+            self._counter("dse_stale_completions").inc()
+            raise ServiceError(
+                f"lease for trial {trial_id} is stale (re-issued after "
+                f"expiry); discard the result", status=409)
+        record.state = COMPLETED
+        record.metrics = dict(metrics or {})
+        record.infeasible = bool(infeasible)
+        record.cache_hit = bool(cache_hit)
+        record.seconds = float(seconds)
+        record.worker = str(worker_id) or record.worker
+        self._persist_trial(record)
+        self._apply_to_study(record)
+        self._counter("dse_trials_completed").inc()
+        if record.infeasible:
+            self._counter("dse_trials_infeasible").inc()
+        hit_name = ("dse_worker_cache_hits" if record.cache_hit
+                    else "dse_worker_cache_misses")
+        self._counter(hit_name).inc()
+        self.service.metrics.histogram(
+            "dse_trial_seconds", buckets=TRIAL_SECONDS_BUCKETS,
+            study=self.study_id).observe(record.seconds)
+        if self._started_mono is not None:
+            self._elapsed = time.monotonic() - self._started_mono
+        self._publish_front()
+        if (len(self.study.trials) >= self.budget
+                and self.completed_count() >= self.budget):
+            self._set_state(DONE)
+        self._export_gauges()
+        return {"ok": True, "duplicate": False}
+
+    def _apply_to_study(self, record):
+        trial = self.study.trials[record.trial_id - 1]
+        if record.infeasible:
+            trial.complete(infeasible=True)
+        else:
+            trial.complete(record.metrics)
+
+    def _export_gauges(self):
+        metrics = self.service.metrics
+        metrics.gauge("dse_queue_depth", study=self.study_id) \
+            .set(len(self.queue))
+        metrics.gauge("dse_inflight", study=self.study_id) \
+            .set(self.inflight())
+
+    # --- resume (replay) ----------------------------------------------------------
+    def replay(self):
+        """Rebuild runtime state from the store after a restart.
+
+        Suggestions are re-derived round by round — the algorithm's RNG
+        state is regenerated exactly, so resumed suggestions match the
+        uninterrupted run's.  Persisted completions are re-applied,
+        live leases re-adopted, expired/torn ones re-queued.
+        """
+        records, unreadable = self.service.store.load_trials(
+            self.owner, self.study_id)
+        if unreadable:
+            self._counter("dse_store_unreadable_trials").add(unreadable)
+        now = self.service.clock()
+        while len(self.study.trials) < self.budget:
+            start = len(self.study.trials)
+            count = min(self.batch, self.budget - start)
+            round_ids = range(start + 1, start + count + 1)
+            if not any(tid in records for tid in round_ids):
+                break  # this round was never durably suggested
+            for trial in self.study.suggest(count):
+                record = records.get(trial.trial_id)
+                if record is None:
+                    # a torn suggestion: the replayed parameters are the
+                    # ones the crashed server computed — heal the file
+                    record = TrialRecord(trial_id=trial.trial_id,
+                                         parameters=dict(trial.parameters))
+                    self._persist_trial(record)
+                elif record.parameters != trial.parameters:
+                    # never expected for an unchanged algorithm; the
+                    # store is the durable truth, so prefer it
+                    self._counter("dse_replay_param_mismatch").inc()
+                    trial.parameters = dict(record.parameters)
+                self.records[trial.trial_id] = record
+                if record.state == COMPLETED:
+                    self._apply_to_study(record)
+                elif record.state == CLAIMED and record.lease_deadline > now:
+                    pass  # re-adopt the in-flight lease as-is
+                else:
+                    if record.state == CLAIMED:
+                        self._counter("dse_lease_reclaims").inc()
+                    record.state = PENDING
+                    record.lease_token = ""
+                    record.worker = ""
+                    self._persist_trial(record)
+                    self.queue.append(record.trial_id)
+            # No barrier check here: a later round on disk proves the
+            # earlier round *did* complete before the crash (the barrier
+            # enforced it), so a non-COMPLETED record in a replayed
+            # round can only be a torn file — re-queue just that record
+            # and keep replaying; every other completed trial survives.
+        self.queue.sort()
+        if (len(self.study.trials) >= self.budget
+                and self.records
+                and self.completed_count() >= self.budget
+                and self.state == ACTIVE):
+            self.state = DONE
+            self._persist_state()
+        self._front_keys = self._current_front_keys()
+        self._export_gauges()
+        return self
+
+    # --- results ------------------------------------------------------------------
+    def feasible_records(self):
+        return [r for r in sorted(self.records.values(),
+                                  key=lambda r: r.trial_id)
+                if r.state == COMPLETED and not r.infeasible]
+
+    def completed_records(self):
+        return [r for r in sorted(self.records.values(),
+                                  key=lambda r: r.trial_id)
+                if r.state == COMPLETED]
+
+    def _metric_tuple(self, record):
+        return tuple(MetricGoal(g["name"], g.get("goal", "minimize"))
+                     .canonical(record.metrics[g["name"]])
+                     for g in self.config["goals"])
+
+    def front(self):
+        """The current Pareto front over feasible completed trials."""
+        records = pareto_front(self.feasible_records(),
+                               key=self._metric_tuple)
+        return [{"trial_id": r.trial_id, "parameters": dict(r.parameters),
+                 "metrics": dict(r.metrics)} for r in records]
+
+    def _current_front_keys(self):
+        return {(r["trial_id"]) for r in self.front()}
+
+    def trials_per_second(self):
+        completed = self.completed_count()
+        if not completed or self._elapsed <= 0.0:
+            return 0.0
+        return completed / self._elapsed
+
+    def status(self):
+        return {
+            "resource_name": self.resource_name,
+            "owner": self.owner,
+            "study_id": self.study_id,
+            "family": self.config["family"],
+            "state": self.state,
+            "budget": self.budget,
+            "batch": self.batch,
+            "max_inflight": self.config["max_inflight"],
+            "suggested": len(self.study.trials),
+            "completed": self.completed_count(),
+            "infeasible": sum(1 for r in self.records.values()
+                              if r.state == COMPLETED and r.infeasible),
+            "claimed": self.inflight(),
+            "queue_depth": len(self.queue),
+            "front_size": len(self.front()),
+            "trials_per_sec": round(self.trials_per_second(), 3),
+        }
+
+    # --- pareto streaming ---------------------------------------------------------
+    def subscribe(self):
+        queue = asyncio.Queue()
+        queue.put_nowait(self._stream_item())
+        self._subscribers.append(queue)
+        return queue
+
+    def unsubscribe(self, queue):
+        if queue in self._subscribers:
+            self._subscribers.remove(queue)
+
+    def _stream_item(self, done=None):
+        return {"study": self.resource_name,
+                "completed": self.completed_count(),
+                "front": self.front(),
+                "done": self.state in (DONE, STOPPED) if done is None
+                else done}
+
+    def _notify(self, done=False):
+        item = self._stream_item(done=done or self.state in (DONE, STOPPED))
+        for queue in self._subscribers:
+            queue.put_nowait(item)
+
+    def _publish_front(self):
+        keys = self._current_front_keys()
+        if keys != self._front_keys:
+            self._front_keys = keys
+            self._notify()
+
+    # --- wire forms ---------------------------------------------------------------
+    def trial_wire(self, record):
+        return {
+            "study": self.resource_name,
+            "owner": self.owner,
+            "study_id": self.study_id,
+            "family": self.config["family"],
+            "trial_id": record.trial_id,
+            "parameters": dict(record.parameters),
+            "lease_token": record.lease_token,
+            "lease_deadline": record.lease_deadline,
+        }
+
+
+class DseService:
+    """Many studies behind one store, one metrics registry, one pool."""
+
+    def __init__(self, store_dir=None, lease_seconds=DEFAULT_LEASE_SECONDS,
+                 clock=time.time, metrics=None):
+        self.store = StudyStore(store_dir)
+        self.lease_seconds = float(lease_seconds)
+        self.clock = clock
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.faults = FaultInjector()
+        self.studies = {}
+        self._rr = 0
+        for config in self.store.list_studies():
+            study = ServiceStudy(self, normalize_config(config))
+            study.replay()
+            self.studies[study.resource_name] = study
+        self._export_active()
+
+    def _export_active(self):
+        self.metrics.gauge("dse_studies_active").set(
+            sum(1 for s in self.studies.values() if s.state == ACTIVE))
+
+    # --- study management ---------------------------------------------------------
+    def create_study(self, config):
+        config = normalize_config(config)
+        name = resource_name(config["owner"], config["study_id"])
+        if name in self.studies:
+            raise ServiceError(f"study {name} already exists", status=409)
+        study = ServiceStudy(self, config)
+        self.store.write_study(config)
+        self.studies[name] = study
+        self._export_active()
+        return study
+
+    def get_study(self, owner, study_id):
+        name = resource_name(owner, study_id)
+        try:
+            return self.studies[name]
+        except KeyError:
+            raise ServiceError(f"no study {name}", status=404) from None
+
+    def stop_study(self, owner, study_id):
+        study = self.get_study(owner, study_id)
+        study._set_state(STOPPED)
+        self._export_active()
+        return study
+
+    def list_statuses(self):
+        return [self.studies[name].status()
+                for name in sorted(self.studies)]
+
+    def all_done(self):
+        return bool(self.studies) and all(
+            s.state in (DONE, STOPPED) for s in self.studies.values())
+
+    # --- the shared worker pool entry ----------------------------------------------
+    def work(self, worker_id, count=1):
+        """Round-robin claims across active studies (fair sharing)."""
+        active = [self.studies[name] for name in sorted(self.studies)
+                  if self.studies[name].state == ACTIVE]
+        granted = []
+        if active:
+            misses = 0
+            while len(granted) < count and misses < len(active):
+                study = active[self._rr % len(active)]
+                self._rr += 1
+                got = study.claim(worker_id, 1)
+                if got:
+                    granted.append(study.trial_wire(got[0]))
+                    misses = 0
+                else:
+                    misses += 1
+        self._export_active()
+        return granted
+
+
+# --------------------------------------------------------------------------------
+# The HTTP layer: a minimal, dependency-free HTTP/1.1 server on asyncio
+# streams.  Handlers are synchronous, so every state mutation is atomic
+# with respect to the event loop.
+# --------------------------------------------------------------------------------
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            409: "Conflict", 500: "Internal Server Error",
+            503: "Service Unavailable"}
+
+
+async def _read_request(reader):
+    """One HTTP/1.1 request -> (method, path, headers, body) or None."""
+    try:
+        line = await reader.readline()
+    except (ConnectionError, asyncio.IncompleteReadError):
+        return None
+    if not line or line in (b"\r\n", b"\n"):
+        return None
+    try:
+        method, target, _version = line.decode("latin-1").split(" ", 2)
+    except ValueError:
+        return None
+    headers = {}
+    while True:
+        header = await reader.readline()
+        if header in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = header.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or "0")
+    body = await reader.readexactly(length) if length else b""
+    return method.upper(), target, headers, body
+
+
+def _json_bytes(status, payload):
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    head = (f"HTTP/1.1 {status} {_REASONS.get(status, 'Status')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: keep-alive\r\n\r\n").encode("latin-1")
+    return head + body
+
+
+class DseHttpServer:
+    """Serves a :class:`DseService` over HTTP/1.1."""
+
+    def __init__(self, service, host="127.0.0.1", port=0):
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server = None
+
+    async def start(self):
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def wait_closed(self):
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    @property
+    def url(self):
+        return f"http://{self.host}:{self.port}"
+
+    # --- connection loop ----------------------------------------------------------
+    async def _handle_connection(self, reader, writer):
+        try:
+            while True:
+                request = await _read_request(reader)
+                if request is None:
+                    break
+                method, target, headers, body = request
+                keep_open = await self._handle_request(
+                    method, target, body, writer)
+                if not keep_open:
+                    break
+                if headers.get("connection", "").lower() == "close":
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            pass  # server shutdown: close the socket and finish quietly
+        finally:
+            try:
+                writer.close()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handle_request(self, method, target, body, writer):
+        path, _, _query = target.partition("?")
+        parts = [p for p in path.split("/") if p]
+        route, handler = self._route(method, parts)
+        self.service.metrics.counter("dse_http_requests", route=route).inc()
+        fault = self.service.faults.take(route)
+        drop_response = False
+        if fault is not None:
+            kind, status = fault
+            if kind == "drop":
+                return False  # sever before the handler runs
+            if kind == "drop_after":
+                drop_response = True  # run the handler, lose the response
+            else:
+                writer.write(_json_bytes(status,
+                                         {"error": "injected fault"}))
+                await writer.drain()
+                return True
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else {}
+        except ValueError:
+            writer.write(_json_bytes(400, {"error": "malformed JSON body"}))
+            await writer.drain()
+            return True
+        if route == "pareto-stream":
+            await self._stream_pareto(parts[1], parts[2], writer)
+            return False  # streams close the connection when done
+        try:
+            status, result = handler(parts, payload)
+        except ServiceError as error:
+            status, result = error.status, {"error": str(error)}
+        except Exception as error:  # never kill the connection loop
+            status, result = 500, {"error": f"internal error: {error!r}"}
+        if drop_response:
+            return False  # the work is applied; the acknowledgment is lost
+        writer.write(_json_bytes(status, result))
+        await writer.drain()
+        return True
+
+    def _route(self, method, parts):
+        service = self.service
+        if method == "GET" and parts == ["healthz"]:
+            return "healthz", lambda p, b: (200, {"ok": True})
+        if method == "GET" and parts == ["metrics"]:
+            return "metrics", lambda p, b: (200, service.metrics.snapshot())
+        if method == "GET" and parts == ["studies"]:
+            return "list", lambda p, b: (200, {
+                "studies": service.list_statuses(),
+                "done": service.all_done()})
+        if method == "POST" and parts == ["studies"]:
+            return "create", self._create
+        if method == "POST" and parts == ["work"]:
+            return "work", self._work
+        if len(parts) >= 3 and parts[0] == "studies":
+            owner, study_id = parts[1], parts[2]
+            tail = parts[3:]
+            if method == "GET" and not tail:
+                return "status", lambda p, b: (
+                    200, service.get_study(owner, study_id).status())
+            if method == "GET" and tail == ["pareto"]:
+                return "pareto", lambda p, b: (200, {
+                    "front": service.get_study(owner, study_id).front()})
+            if method == "GET" and tail == ["pareto-stream"]:
+                return "pareto-stream", None
+            if method == "GET" and tail == ["trials"]:
+                return "trials", self._trials
+            if method == "POST" and tail == ["suggest"]:
+                return "suggest", self._suggest
+            if method == "POST" and tail == ["stop"]:
+                return "stop", lambda p, b: (
+                    200, service.stop_study(owner, study_id).status())
+            if (method == "POST" and len(tail) == 3 and tail[0] == "trials"
+                    and tail[2] == "complete"):
+                return "complete", self._complete
+        return "unknown", lambda p, b: (
+            404, {"error": f"no route {method} /{'/'.join(parts)}"})
+
+    # --- handlers -----------------------------------------------------------------
+    def _create(self, parts, payload):
+        study = self.service.create_study(payload)
+        return 200, study.status()
+
+    def _work(self, parts, payload):
+        worker_id = str(payload.get("worker_id", "worker"))
+        count = int(payload.get("count", 1))
+        trials = self.service.work(worker_id, count)
+        return 200, {"trials": trials, "done": self.service.all_done()}
+
+    def _suggest(self, parts, payload):
+        study = self.service.get_study(parts[1], parts[2])
+        worker_id = str(payload.get("worker_id", "worker"))
+        count = int(payload.get("count", 1))
+        granted = study.claim(worker_id, count)
+        return 200, {"trials": [study.trial_wire(r) for r in granted],
+                     "done": study.state in (DONE, STOPPED),
+                     "state": study.state}
+
+    def _complete(self, parts, payload):
+        study = self.service.get_study(parts[1], parts[2])
+        trial_id = int(parts[4])
+        result = study.complete(
+            trial_id,
+            lease_token=str(payload.get("lease_token", "")),
+            metrics=payload.get("metrics"),
+            infeasible=bool(payload.get("infeasible", False)),
+            cache_hit=bool(payload.get("cache_hit", False)),
+            seconds=float(payload.get("seconds", 0.0)),
+            worker_id=str(payload.get("worker_id", "")),
+        )
+        result["state"] = study.state
+        return 200, result
+
+    def _trials(self, parts, payload):
+        study = self.service.get_study(parts[1], parts[2])
+        return 200, {
+            "study": study.resource_name,
+            "family": study.config["family"],
+            "trials": [
+                {"trial_id": r.trial_id, "parameters": dict(r.parameters),
+                 "metrics": dict(r.metrics), "infeasible": r.infeasible,
+                 "cache_hit": r.cache_hit, "seconds": r.seconds}
+                for r in study.completed_records()
+            ],
+        }
+
+    async def _stream_pareto(self, owner, study_id, writer):
+        """Chunked NDJSON: the current front immediately, then one line
+        per front change, ending when the study finishes."""
+        try:
+            study = self.service.get_study(owner, study_id)
+        except ServiceError as error:
+            writer.write(_json_bytes(error.status, {"error": str(error)}))
+            await writer.drain()
+            return
+        writer.write(b"HTTP/1.1 200 OK\r\n"
+                     b"Content-Type: application/x-ndjson\r\n"
+                     b"Transfer-Encoding: chunked\r\n"
+                     b"Connection: close\r\n\r\n")
+        queue = study.subscribe()
+        try:
+            while True:
+                item = await queue.get()
+                chunk = (json.dumps(item, sort_keys=True) + "\n").encode()
+                writer.write(f"{len(chunk):x}\r\n".encode() + chunk + b"\r\n")
+                await writer.drain()
+                if item.get("done"):
+                    break
+            writer.write(b"0\r\n\r\n")
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            study.unsubscribe(queue)
+
+
+def serve(service, host="127.0.0.1", port=8733):
+    """Blocking entry point (``repro dse serve``)."""
+    async def _main():
+        server = await DseHttpServer(service, host, port).start()
+        await server._server.serve_forever()
+    asyncio.run(_main())
+
+
+class ServiceThread:
+    """A served :class:`DseService` on a background thread (tests, the
+    benchmark harness, and ``repro dse --service-url``-less local runs).
+
+    >>> handle = ServiceThread(DseService(store_dir=...))  # doctest: +SKIP
+    >>> client = ServiceClient(handle.url)
+    >>> ...
+    >>> handle.stop()
+    """
+
+    def __init__(self, service, host="127.0.0.1", port=0):
+        self.service = service
+        self._http = DseHttpServer(service, host, port)
+        self._loop = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=10.0):
+            raise RuntimeError("DSE service thread failed to start")
+
+    def _run(self):
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        loop.run_until_complete(self._http.start())
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(self._http.wait_closed())
+            tasks = asyncio.all_tasks(loop)
+            for task in tasks:
+                task.cancel()
+            if tasks:
+                loop.run_until_complete(
+                    asyncio.gather(*tasks, return_exceptions=True))
+            loop.close()
+
+    @property
+    def url(self):
+        return self._http.url
+
+    def stop(self):
+        if self._loop is not None and self._loop.is_running():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10.0)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.stop()
+        return False

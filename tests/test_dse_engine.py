@@ -118,6 +118,55 @@ def test_dse_result_constructed_from_points_keeps_dedup_state():
     assert len(result.points) == 1
 
 
+def test_dse_result_records_round_trip_by_value():
+    result = DseResult()
+    result.add(DsePoint(family="none", parameters={"b": 2, "a": 1},
+                        cycles=10.0, logic_cells=3))
+    result.add(DsePoint(family="cfu1", parameters={"a": 1, "b": 2},
+                        cycles=8.0, logic_cells=7))
+    records = result.to_records()
+    assert records == json.loads(json.dumps(records))  # plain JSON
+    rebuilt = DseResult.from_records(records)
+    assert [p.key() for p in rebuilt.points] == \
+        [p.key() for p in result.points]
+    # rebuilding from records that repeat a configuration dedups by
+    # value, exactly like add()
+    doubled = DseResult.from_records(records + records)
+    assert [p.key() for p in doubled.points] == \
+        [p.key() for p in result.points]
+
+
+def test_family_front_is_insertion_order_independent():
+    """Two configs with identical metrics: whichever arrives first must
+    not decide the front (service completions arrive in worker order)."""
+    low = DsePoint(family="none", parameters={"a": 1}, cycles=5.0,
+                   logic_cells=5)
+    high = DsePoint(family="none", parameters={"a": 2}, cycles=5.0,
+                    logic_cells=5)
+    one_way = DseResult()
+    one_way.add(low)
+    one_way.add(high)
+    other_way = DseResult()
+    other_way.add(high)
+    other_way.add(low)
+    assert [p.key() for p in one_way.family_front("none")] == \
+        [p.key() for p in other_way.family_front("none")]
+    # the representative is the value-smallest config, deterministically
+    assert one_way.family_front("none")[0].key() == low.key()
+
+
+def test_pareto_front_sorts_by_the_full_metric_tuple():
+    from repro.dse import pareto_front
+
+    # three non-dominated points, two tied on the first objective (only
+    # possible with three or more goals): the tie must break on the
+    # remaining objectives, not on discovery order
+    points = [(1.0, 5.0, 2.0), (1.0, 2.0, 5.0), (2.0, 1.0, 1.0)]
+    expected = [(1.0, 2.0, 5.0), (1.0, 5.0, 2.0), (2.0, 1.0, 1.0)]
+    assert pareto_front(points) == expected
+    assert pareto_front(list(reversed(points))) == expected
+
+
 def test_summary_stars_survive_a_cache_round_trip(tmp_path):
     first = run_fig7(trials_per_family=10, seed=5, cache_dir=tmp_path)
     second = run_fig7(trials_per_family=10, seed=5, cache_dir=tmp_path)

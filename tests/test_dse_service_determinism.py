@@ -1,0 +1,139 @@
+"""Golden determinism of the DSE service against the in-process engine.
+
+The service schedules suggestions in fixed rounds behind a barrier, so
+the optimizer consumes randomness identically however many workers pull
+trials and in whatever order they complete.  These tests pin the
+contract at Fig. 7 shape (three families over the VexRiscv space):
+
+- 1 worker over the wire == in-process ``run_fig7``;
+- 4 workers over the wire == in-process ``run_fig7``;
+- kill the server and workers mid-study, restart from the store,
+  finish == in-process ``run_fig7``;
+- a warm rerun against a shared evaluation cache re-simulates nothing.
+"""
+
+import time
+
+import pytest
+
+from repro.dse import (
+    CFU_FAMILIES,
+    DseResult,
+    DseService,
+    ServiceClient,
+    ServiceThread,
+    WorkerFleet,
+    create_fig7_studies,
+    run_fig7,
+    run_fig7_service,
+)
+
+TRIALS = 12
+SEED = 5
+BATCH = 4
+TOTAL = TRIALS * len(CFU_FAMILIES)
+
+
+def fingerprint(result):
+    """Everything the Fig. 7 plot is made of, as comparable values."""
+    return {
+        "points": [p.key() for p in result.points],
+        "fronts": {
+            family: [(p.key(), p.metrics)
+                     for p in result.family_front(family)]
+            for family in CFU_FAMILIES
+        },
+        "overall": [(p.key(), p.metrics) for p in result.overall_front()],
+    }
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return fingerprint(run_fig7(trials_per_family=TRIALS, seed=SEED,
+                                batch=BATCH))
+
+
+def service_run(golden, tmp_path, workers, prefix):
+    result, info = run_fig7_service(
+        trials_per_family=TRIALS, seed=SEED, batch=BATCH, workers=workers,
+        cache_dir=str(tmp_path / "cache"), prefix=prefix)
+    assert info["trials_completed"] == TOTAL
+    assert all(s["state"] == "DONE" for s in info["statuses"])
+    assert fingerprint(result) == golden
+    return result, info
+
+
+def test_single_worker_matches_in_process(golden, tmp_path):
+    result, info = service_run(golden, tmp_path, workers=1, prefix="w1-")
+    assert info["trials_per_sec"] > 0
+    # the wire records round-trip to the same result by value
+    assert fingerprint(DseResult.from_records(result.to_records())) == golden
+
+
+def test_four_workers_match_in_process(golden, tmp_path):
+    _result, info = service_run(golden, tmp_path, workers=4, prefix="w4-")
+    # all four workers participated in the pool
+    active = sum(1 for s in info["worker_stats"] if s["claimed"] > 0)
+    assert active >= 2  # scheduling is fair, not single-worker-starved
+
+
+def test_kill_restart_resume_matches_in_process(golden, tmp_path):
+    store = str(tmp_path / "store")
+    cache = str(tmp_path / "cache")
+
+    # phase 1: run two workers, then kill everything mid-study
+    first = ServiceThread(DseService(store_dir=store))
+    client = ServiceClient(first.url, worker_id="orchestrator")
+    try:
+        create_fig7_studies(client, TRIALS, seed=SEED, batch=BATCH)
+        fleet = WorkerFleet(first.url, workers=2, cache_dir=cache)
+        fleet.start()
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            studies = client.list_studies()["studies"]
+            done = sum(s["completed"] for s in studies)
+            if done >= TOTAL // 3:
+                break
+            time.sleep(0.002)
+        else:
+            raise AssertionError("no progress before the kill point")
+        fleet.stop()
+    finally:
+        client.close()
+        first.stop()
+
+    # phase 2: a fresh server resumes the studies from the store
+    second = ServiceThread(DseService(store_dir=store))
+    try:
+        probe = ServiceClient(second.url, worker_id="probe")
+        resumed = probe.list_studies()["studies"]
+        probe.close()
+        adopted = sum(s["completed"] for s in resumed)
+        assert 0 < adopted < TOTAL, "the kill point must be mid-study"
+        assert {s["state"] for s in resumed} <= {"ACTIVE", "DONE"}
+
+        result, info = run_fig7_service(
+            service_url=second.url, trials_per_family=TRIALS, seed=SEED,
+            batch=BATCH, workers=2, cache_dir=cache)
+    finally:
+        second.stop()
+    assert all(s["state"] == "DONE" for s in info["statuses"])
+    assert sum(s["completed"] for s in info["statuses"]) == TOTAL
+    assert fingerprint(result) == golden
+
+
+def test_warm_resume_reevaluates_nothing(golden, tmp_path):
+    cache = str(tmp_path / "cache")
+    cold_result, cold_info = run_fig7_service(
+        trials_per_family=TRIALS, seed=SEED, batch=BATCH, workers=2,
+        cache_dir=cache, prefix="cold-")
+    assert cold_info["evaluations"] > 0
+    assert fingerprint(cold_result) == golden
+
+    warm_result, warm_info = run_fig7_service(
+        trials_per_family=TRIALS, seed=SEED, batch=BATCH, workers=2,
+        cache_dir=cache, prefix="warm-")
+    assert warm_info["evaluations"] == 0, \
+        "a warm rerun must re-simulate nothing"
+    assert warm_info["cache_hits"] == warm_info["trials_completed"] == TOTAL
+    assert fingerprint(warm_result) == golden
