@@ -16,9 +16,19 @@ VexRiscv space), landed in ``BENCH_dse.json`` at the repo root:
   core count — the paper's Vizier fleet scales by adding evaluation
   hosts, and single-core CI must still prove the overlap.
 
+A fourth measurement, **warm compile cache**, times the *per-trial
+simulation setup* (fresh emulator + firmware + tier-2 promotion of
+every hot block) across a multi-process worker pool, with and without
+a shared persistent :class:`~repro.core.codecache.CodeCache`: with the
+cache on, every worker must bind the firmware's translated blocks from
+disk with **zero redundant code generations** fleet-wide.
+
 Knobs:
 - ``REPRO_DSE_TRIALS``        trials per family, throughput/warm runs
                               (default 40)
+- ``REPRO_DSE_SETUP_TRIALS``  per-trial-setup measurements per cache
+                              mode in the warm-compile-cache run
+                              (default 6)
 - ``REPRO_DSE_SCALING_TRIALS``trials per family, scaling runs
                               (default 16)
 - ``REPRO_DSE_EVAL_LATENCY``  modeled seconds per trial in the scaling
@@ -44,8 +54,10 @@ from repro.dse import (
     run_fig7_service,
     wait_for_studies,
 )
+from repro.dse.pool import WorkerPool
 
 TRIALS = int(os.environ.get("REPRO_DSE_TRIALS", "40"))
+SETUP_TRIALS = int(os.environ.get("REPRO_DSE_SETUP_TRIALS", "6"))
 SCALING_TRIALS = int(os.environ.get("REPRO_DSE_SCALING_TRIALS", "16"))
 EVAL_LATENCY = float(os.environ.get("REPRO_DSE_EVAL_LATENCY", "0.015"))
 TPS_MIN = float(os.environ.get("REPRO_DSE_TPS_MIN", "25.0"))
@@ -137,12 +149,88 @@ def measure_scaling_point(workers):
     }
 
 
+# --- warm compile cache: per-trial simulation setup cost --------------------------
+
+#: A firmware with many promotable blocks, shared by every "trial".
+_TRIAL_FIRMWARE = "\n".join(
+    ["    li a0, 0", "    li a1, 40", "outer:"]
+    + [line
+       for block in range(12)
+       for line in (f"b{block}:",
+                    *[f"    addi a0, a0, {block + 1}" for _ in range(6)],
+                    f"    bnez a1, b{block}_done",
+                    f"b{block}_done:")]
+    + ["    addi a1, a1, -1", "    bnez a1, outer",
+       "    li a7, 93", "    ecall"]
+)
+
+
+def _trial_setup(cache_dir):
+    """One trial's simulation setup, as a DSE worker would pay it:
+    fresh emulator, shared firmware, every hot block promoted to
+    tier-2.  Module-level so the process pool can pickle it."""
+    from repro.boards import ARTY_A7_35T
+    from repro.core.codecache import CodeCache
+    from repro.emu import Emulator
+    from repro.soc import Soc
+
+    cache = CodeCache(cache_dir) if cache_dir else None
+    started = time.perf_counter()
+    emulator = Emulator(Soc(ARTY_A7_35T), sim_backend="translated",
+                        compile_cache=cache)
+    emulator.machine.hot_threshold = 1
+    emulator.load_assembly(_TRIAL_FIRMWARE, region="flash")
+    emulator.run(1_000_000)
+    elapsed = time.perf_counter() - started
+    return {
+        "seconds": elapsed,
+        "cycles": emulator.machine.cycles,
+        "block_cache_loads": emulator.machine.block_cache_loads,
+        "codegens": 0 if cache is None else cache.stats.misses,
+        "stores": 0 if cache is None else cache.stats.stores,
+    }
+
+
+def measure_warm_compile_cache(tmp_path):
+    """Per-trial setup with the shared compile cache off vs on.
+
+    Every pool worker creates a *fresh* CodeCache per trial (cold
+    memory layer), so with the cache on, zero misses/stores fleet-wide
+    proves each translated block was generated exactly once, ever."""
+    cache_dir = str(tmp_path / "code-cache")
+    with WorkerPool(2) as pool:
+        off = pool.map(_trial_setup, [None] * SETUP_TRIALS)
+    prime = _trial_setup(cache_dir)      # the one cold compile
+    with WorkerPool(2) as pool:
+        on = pool.map(_trial_setup, [cache_dir] * SETUP_TRIALS)
+
+    off_avg = sum(t["seconds"] for t in off) / len(off)
+    on_avg = sum(t["seconds"] for t in on) / len(on)
+    redundant = sum(t["codegens"] + t["stores"] for t in on)
+    cycles = {t["cycles"] for t in off + on} | {prime["cycles"]}
+    return {
+        "description": ("per-trial simulation setup (emulator + "
+                        "firmware + tier-2 promotion) across a "
+                        "2-process pool, shared compile cache off/on"),
+        "setup_trials": SETUP_TRIALS,
+        "per_trial_setup_seconds_off": round(off_avg, 4),
+        "per_trial_setup_seconds_on": round(on_avg, 4),
+        "setup_speedup": round(off_avg / on_avg, 2) if on_avg else None,
+        "blocks_primed": prime["codegens"],
+        "warm_blocks_bound": sum(t["block_cache_loads"] for t in on),
+        "redundant_compiles": redundant,
+        "bit_identical": len(cycles) == 1,
+        "passed": redundant == 0 and len(cycles) == 1,
+    }
+
+
 def test_dse_service_benchmark(report, tmp_path):
     golden = fingerprint(run_fig7(trials_per_family=TRIALS, seed=SEED))
     cache_dir = str(tmp_path / "eval-cache")
 
     throughput = measure_throughput(cache_dir, golden)
     warm = measure_warm_resume(cache_dir, golden)
+    warm_compile = measure_warm_compile_cache(tmp_path)
     points = [measure_scaling_point(workers) for workers in (1, 4)]
     speedup = round(points[0]["elapsed_seconds"]
                     / points[1]["elapsed_seconds"], 2)
@@ -157,6 +245,7 @@ def test_dse_service_benchmark(report, tmp_path):
                            passed=(throughput["trials_per_sec"] >= TPS_MIN
                                    and throughput["golden_equal"])),
         "warm_resume": warm,
+        "warm_compile_cache": warm_compile,
         "scaling": {
             "description": ("fixed-latency evaluation model "
                             "(eval_latency sleep per trial) so the "
@@ -178,9 +267,12 @@ def test_dse_service_benchmark(report, tmp_path):
             "warm_evaluations": warm["evaluations"],
             "warm_cache_hit_rate": warm["cache_hit_rate"],
             "scaling_speedup": speedup,
+            "compile_setup_speedup": warm_compile["setup_speedup"],
+            "redundant_compiles": warm_compile["redundant_compiles"],
             "passed": (throughput["trials_per_sec"] >= TPS_MIN
                        and throughput["golden_equal"]
                        and warm["passed"] and warm["golden_equal"]
+                       and warm_compile["passed"]
                        and speedup >= SCALING_MIN),
         },
     }
@@ -197,6 +289,12 @@ def test_dse_service_benchmark(report, tmp_path):
     report(f"warm resume       : {warm['trials_per_sec']:>8.1f} "
            f"trials/sec ({warm['evaluations']} evaluations, "
            f"{warm['cache_hit_rate']:.0%} cache hits)")
+    report(f"trial setup       : "
+           f"{warm_compile['per_trial_setup_seconds_off']*1000:>8.1f}ms "
+           f"cache off, "
+           f"{warm_compile['per_trial_setup_seconds_on']*1000:.1f}ms "
+           f"shared cache on ({warm_compile['setup_speedup']}x, "
+           f"{warm_compile['redundant_compiles']} redundant compiles)")
     for point in points:
         report(f"scaling {point['workers']} worker(s): "
                f"{point['elapsed_seconds']:>8.3f}s for "
@@ -216,6 +314,12 @@ def test_dse_service_benchmark(report, tmp_path):
     assert throughput["trials_per_sec"] >= TPS_MIN, (
         f"cold service throughput {throughput['trials_per_sec']} "
         f"trials/sec (needs >= {TPS_MIN})")
+    assert warm_compile["redundant_compiles"] == 0, (
+        f"shared compile cache still code-generated "
+        f"{warm_compile['redundant_compiles']} blocks across the pool "
+        f"(must be 0)")
+    assert warm_compile["bit_identical"], \
+        "cache-bound trials diverged from cache-off trials"
     assert speedup >= SCALING_MIN, (
         f"4-worker overlap speedup only {speedup}x "
         f"(needs >= {SCALING_MIN}x)")

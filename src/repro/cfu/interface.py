@@ -71,6 +71,23 @@ class CfuModel:
         """
         return None
 
+    # --- warm-state protocol --------------------------------------------------------
+    def snapshot_state(self):
+        """An opaque copy of the CFU's architectural state, restorable
+        with :meth:`restore_state`.  The default deep-copies the
+        instance dict, which covers models keeping scratchpads,
+        accumulators, and configuration registers in attributes;
+        models with external state override both methods."""
+        import copy
+
+        return copy.deepcopy(self.__dict__)
+
+    def restore_state(self, state):
+        import copy
+
+        self.__dict__.clear()
+        self.__dict__.update(copy.deepcopy(state))
+
     def resources(self):
         """Resource estimate; overridden by designs with known gateware."""
         from ..rtl.synth import ResourceReport
@@ -113,6 +130,18 @@ class MeteredCfu:
     def clear(self):
         self.invocations = {}
         self.busy_cycles = 0
+
+    def snapshot_state(self):
+        inner = (self.inner.snapshot_state()
+                 if hasattr(self.inner, "snapshot_state") else None)
+        return {"inner": inner, "invocations": dict(self.invocations),
+                "busy_cycles": self.busy_cycles}
+
+    def restore_state(self, state):
+        if state["inner"] is not None:
+            self.inner.restore_state(state["inner"])
+        self.invocations = dict(state["invocations"])
+        self.busy_cycles = state["busy_cycles"]
 
     def resources(self):
         return self.inner.resources()

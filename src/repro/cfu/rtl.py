@@ -81,6 +81,40 @@ class RtlCfuAdapter:
         # slot and memory state without re-elaborating or re-scheduling.
         self.sim = Simulator(self.rtl.module, backend=self.backend)
 
+    def snapshot_state(self):
+        """Capture the live simulator state (both backends)."""
+        sim = self.sim
+        if hasattr(sim, "_vals"):  # compiled backend: flat slot list
+            return {"backend": "compiled", "vals": list(sim._vals),
+                    "extra": dict(sim._extra),
+                    "mems": [list(state) for state in sim._mems],
+                    "time": sim.time}
+        return {"backend": "interp", "env": dict(sim.env),
+                "mems": {mem: list(state)
+                         for mem, state in sim.mem_state.items()},
+                "time": sim.time}
+
+    def restore_state(self, state):
+        """Restore a :meth:`snapshot_state` in place (signal/memory
+        container identities are preserved)."""
+        sim = self.sim
+        if state["backend"] == "compiled":
+            if not hasattr(sim, "_vals"):
+                raise ValueError("snapshot was taken on the compiled backend")
+            sim._vals[:] = state["vals"]
+            sim._extra.clear()
+            sim._extra.update(state["extra"])
+            for live, saved in zip(sim._mems, state["mems"]):
+                live[:] = saved
+        else:
+            if hasattr(sim, "_vals"):
+                raise ValueError("snapshot was taken on the interp backend")
+            sim.env.clear()
+            sim.env.update(state["env"])
+            for mem, saved in state["mems"].items():
+                sim.mem_state[mem][:] = saved
+        sim.time = state["time"]
+
     def execute(self, funct3, funct7, a, b):
         sim, ports = self.sim, self.ports
         sim.poke(ports.cmd_valid, 1)

@@ -110,16 +110,21 @@ class FirmwareRun:
 
 
 def run_firmware(soc_factory, cfu, source, region="sram",
-                 max_instructions=5_000_000, sim_backend="auto"):
+                 max_instructions=5_000_000, sim_backend="auto",
+                 compile_cache=None):
     """Assemble and run ``source`` on a fresh SoC with ``cfu`` attached.
 
     ``soc_factory`` builds the SoC (a fresh one per run, so two runs
     never share peripheral or RAM state).  ``sim_backend`` picks the ISA
     execution tier (see :data:`repro.cpu.machine.SIM_BACKENDS`).
+    ``compile_cache`` (a :class:`~repro.core.codecache.CodeCache`, a
+    directory path, or ``True`` for the process default) lets repeated
+    runs of the same firmware skip tier-2 code generation.
     """
     from ..emu import Emulator
 
-    emulator = Emulator(soc_factory(), cfu=cfu, sim_backend=sim_backend)
+    emulator = Emulator(soc_factory(), cfu=cfu, sim_backend=sim_backend,
+                        compile_cache=compile_cache)
     emulator.load_assembly(source, region=region)
     exit_code = emulator.run(max_instructions)
     machine = emulator.machine

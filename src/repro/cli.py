@@ -108,7 +108,8 @@ def _cmd_dse(args):
     result = run_fig7(trials_per_family=args.trials, seed=args.seed,
                       workers=args.workers, batch=args.batch,
                       cache_dir=args.cache_dir, tracer=tracer,
-                      sim_backend=args.sim_backend)
+                      sim_backend=args.sim_backend,
+                      compile_cache_dir=args.compile_cache_dir)
     print(result.summary())
     print()
     print(tracer.summary())
@@ -162,10 +163,33 @@ def _cmd_dse_work(args):
                        cache_dir=args.cache_dir,
                        poll_interval=args.poll_interval,
                        max_trials=args.max_trials,
-                       sim_backend=args.sim_backend)
+                       sim_backend=args.sim_backend,
+                       compile_cache_dir=args.compile_cache_dir)
     print(f"worker {args.worker_id}: {stats.completed} completed "
           f"({stats.cache_hits} cache hits, {stats.infeasible} infeasible, "
           f"{stats.stale_leases} stale leases)")
+    return 0
+
+
+def _cmd_sessions_serve(args):
+    from .emu.sessions import SessionManager, serve
+
+    if args.no_compile_cache:
+        compile_cache = None
+    elif args.compile_cache_dir:
+        compile_cache = args.compile_cache_dir
+    else:
+        compile_cache = True
+    manager = SessionManager(max_sessions=args.max_sessions,
+                             compile_cache=compile_cache)
+    cache = manager.compile_cache
+    cache_label = ("disabled" if cache is None
+                   else getattr(cache, "cache_dir", "shared"))
+    print(f"serving the emulation session fleet on "
+          f"http://{args.host}:{args.port} "
+          f"(max {args.max_sessions} sessions, "
+          f"compile cache: {cache_label})")
+    serve(manager, host=args.host, port=args.port)
     return 0
 
 
@@ -277,6 +301,10 @@ def build_parser():
     dse.add_argument("--cache-dir", default=None,
                      help="persistent evaluation cache; warm reruns "
                           "re-evaluate nothing")
+    dse.add_argument("--compile-cache-dir", default=None,
+                     help="persistent tier-2/RTL compile cache shared "
+                          "across workers; each firmware block compiles "
+                          "once, ever")
     dse.add_argument("--trace-out", default=None,
                      help="write a JSONL trace (trial spans, progress "
                           "events, counters) here")
@@ -311,12 +339,38 @@ def build_parser():
     dse_work.add_argument("--cache-dir", default=None,
                           help="shared content-addressed evaluation "
                                "cache (zero re-simulation on warm runs)")
+    dse_work.add_argument("--compile-cache-dir", default=None,
+                          help="shared persistent tier-2/RTL compile "
+                               "cache (one compile per firmware across "
+                               "the whole fleet)")
     dse_work.add_argument("--poll-interval", type=float, default=0.05)
     dse_work.add_argument("--max-trials", type=int, default=None,
                           help="stop after this many claims (default: "
                                "run until every study is done)")
     _add_sim_backend_flag(dse_work)
     dse_work.set_defaults(func=_cmd_dse_work)
+
+    sessions = sub.add_parser(
+        "sessions", help="the emulation session fleet (warm machines, "
+                         "COW snapshots, shared compile cache)")
+    sessions_sub = sessions.add_subparsers(dest="sessions_command",
+                                           required=True)
+    sessions_serve = sessions_sub.add_parser(
+        "serve", help="serve warm emulator sessions over HTTP "
+                      "(create/load/run/snapshot/restore/profile)")
+    sessions_serve.add_argument("--host", default="127.0.0.1")
+    sessions_serve.add_argument("--port", type=int, default=8744)
+    sessions_serve.add_argument("--max-sessions", type=_positive_int,
+                                default=32,
+                                help="live sessions kept resident before "
+                                     "LRU eviction")
+    sessions_serve.add_argument("--compile-cache-dir", default=None,
+                                help="persistent tier-2/RTL compile cache "
+                                     "directory (default: the process-wide "
+                                     "cache, REPRO_CODECACHE_DIR-aware)")
+    sessions_serve.add_argument("--no-compile-cache", action="store_true",
+                                help="disable persistent compile reuse")
+    sessions_serve.set_defaults(func=_cmd_sessions_serve)
 
     rep = sub.add_parser("report",
                          help="generate the full experiment report")

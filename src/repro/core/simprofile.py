@@ -487,7 +487,10 @@ def _simulate_class(name, trace, instructions, code_section, estimated,
     base = memory_map.get(code_region).base
     code, symbols = assemble(builder.source(), origin=base)
     emulator.bus.load_bytes(base, code)
-    emulator.machine.flush_decode_cache()
+    # Scope the invalidation to the pages just rewritten: decoded ops
+    # and translated blocks for other classes' firmware stay warm
+    # across repeated --simulate runs.
+    emulator.machine.invalidate_pages(base, len(code))
     emulator.machine.pc = base
 
     analytic, replay_instructions = builder.replay(

@@ -55,11 +55,103 @@ class MemoryAccessError(RuntimeError):
     pass
 
 
-class SparseMemory:
+class MemorySnapshot:
+    """A copy-on-write undo log: page index -> the page's bytes at
+    snapshot time (``None`` = the page did not exist yet).  Taking one
+    copies nothing; the owning memory records a page's pre-write image
+    here the first time that page is mutated afterwards, so snapshot
+    and restore both cost O(pages touched), never O(total memory)."""
+
+    __slots__ = ("pages",)
+
+    def __init__(self):
+        self.pages = {}
+
+    @property
+    def pages_recorded(self):
+        return len(self.pages)
+
+
+class CowPagesMixin:
+    """The copy-on-write bookkeeping shared by :class:`SparseMemory`
+    and the SoC bus: live snapshots, the protected-page set, and the
+    registered page caches (tier-2 blocks bake page lookups — they must
+    be evicted whenever a page's writability or identity changes).
+
+    The protected set's *identity* is load-bearing: generated code and
+    resolver closures capture it directly, so it is only ever mutated
+    in place.
+    """
+
+    def _init_cow(self):
+        self._snapshots = []       # live MemorySnapshots, oldest first
+        self._cow_protected = set()  # pages some live snapshot hasn't recorded
+        self._page_caches = []     # dicts keyed by page index, evicted on COW events
+
+    def register_page_cache(self, cache):
+        """Register a page-index-keyed dict to clear on COW transitions
+        (protection changes flip what a cached page tuple may assert)."""
+        self._page_caches.append(cache)
+        return cache
+
+    def _evict_page_caches(self):
+        for cache in self._page_caches:
+            cache.clear()
+
+    def _cow_record(self, index):
+        """Save page ``index``'s current image into every live snapshot
+        that lacks one, then lift the write protection."""
+        data = self._cow_page_image(index)
+        for snap in self._snapshots:
+            if index not in snap.pages:
+                snap.pages[index] = data
+        self._cow_protected.discard(index)
+        for cache in self._page_caches:
+            cache.pop(index, None)
+
+    def snapshot(self):
+        """O(1) copy-on-write snapshot of the current memory image."""
+        snap = MemorySnapshot()
+        self._snapshots.append(snap)
+        self._cow_protected.update(self._cow_all_pages())
+        self._evict_page_caches()
+        return snap
+
+    def discard_snapshot(self, snap):
+        """Forget a snapshot (its undo records stop accumulating)."""
+        if snap in self._snapshots:
+            self._snapshots.remove(snap)
+            protected = set()
+            for live in self._snapshots:
+                protected.update(index for index in self._cow_all_pages()
+                                 if index not in live.pages)
+            self._cow_protected.clear()
+            self._cow_protected.update(protected)
+            self._evict_page_caches()
+
+    def restore(self, snap):
+        """Rewrite every page the snapshot recorded back to its image,
+        in place (page identity is preserved, so baked references stay
+        valid).  Returns the sorted list of restored page indices."""
+        if snap not in self._snapshots:
+            raise ValueError("snapshot does not belong to this memory "
+                             "(or was discarded)")
+        restored = []
+        for index, saved in sorted(snap.pages.items()):
+            if index in self._cow_protected:
+                self._cow_record(index)  # later snapshots keep their view
+            self._cow_restore_page(index, saved)
+            restored.append(index)
+        self._evict_page_caches()
+        return restored
+
+
+class SparseMemory(CowPagesMixin):
     """Byte-addressable sparse memory over 4 KiB pages (little endian)."""
 
     def __init__(self):
         self._pages = {}
+        self._init_cow()
 
     def _page(self, addr):
         index = addr >> _PAGE_BITS
@@ -67,15 +159,39 @@ class SparseMemory:
         if page is None:
             page = bytearray(_PAGE_SIZE)
             self._pages[index] = page
+            for snap in self._snapshots:
+                snap.pages.setdefault(index, None)
         return page
 
+    # --- COW hooks -------------------------------------------------------------------
+    def _cow_all_pages(self):
+        return self._pages
+
+    def _cow_page_image(self, index):
+        page = self._pages.get(index)
+        return bytes(page) if page is not None else None
+
+    def _cow_restore_page(self, index, saved):
+        if saved is None:
+            self._pages.pop(index, None)
+            return
+        page = self._pages.get(index)
+        if page is None:
+            page = bytearray(_PAGE_SIZE)
+            self._pages[index] = page
+        page[:] = saved
+
+    # --- access ---------------------------------------------------------------------
     def load_bytes(self, addr, data):
         if not isinstance(data, (bytes, bytearray, memoryview)):
             data = bytes(byte & 0xFF for byte in data)
         view = memoryview(data)
         offset = 0
         remaining = len(view)
+        protected = self._cow_protected
         while remaining:
+            if protected and (addr >> _PAGE_BITS) in protected:
+                self._cow_record(addr >> _PAGE_BITS)
             page = self._page(addr)
             start = addr & (_PAGE_SIZE - 1)
             chunk = min(remaining, _PAGE_SIZE - start)
@@ -100,6 +216,8 @@ class SparseMemory:
         return self._page(addr)[addr & (_PAGE_SIZE - 1)]
 
     def write8(self, addr, value):
+        if self._cow_protected and (addr >> _PAGE_BITS) in self._cow_protected:
+            self._cow_record(addr >> _PAGE_BITS)
         self._page(addr)[addr & (_PAGE_SIZE - 1)] = value & 0xFF
 
     def read16(self, addr):
@@ -117,6 +235,8 @@ class SparseMemory:
         return self.read16(addr) | self.read16(addr + 2) << 16
 
     def write32(self, addr, value):
+        if self._cow_protected and (addr >> _PAGE_BITS) in self._cow_protected:
+            self._cow_record(addr >> _PAGE_BITS)
         page = self._page(addr)
         offset = addr & (_PAGE_SIZE - 1)
         if offset <= _PAGE_SIZE - 4:
@@ -295,6 +415,44 @@ def _specialize(pc, ins):
             0, ins, reads)
 
 
+def _timing_state(timing):
+    """Capture a timing model's mutable state (trace-driven cache tags
+    and hit/miss tallies, branch-predictor counters) for snapshots."""
+    if timing is None:
+        return None
+    state = {}
+    for name in ("icache", "dcache"):
+        cache = getattr(timing, name, None)
+        if cache is not None:
+            state[name] = (cache.hits, cache.misses,
+                           [list(tags) for tags in cache._sets])
+    predictor = getattr(timing, "predictor", None)
+    counters = getattr(predictor, "_counters", None)
+    if counters is not None:
+        state["predictor"] = list(counters)
+    return state
+
+
+def _restore_timing_state(timing, state):
+    """Rewind a timing model in place — generated blocks bake the cache
+    set list and predictor counter list identities, so the inner lists
+    are rewritten, never rebound."""
+    if timing is None or state is None:
+        return
+    for name in ("icache", "dcache"):
+        cache = getattr(timing, name, None)
+        if cache is not None and name in state:
+            hits, misses, sets = state[name]
+            cache.hits = hits
+            cache.misses = misses
+            for tags, saved in zip(cache._sets, sets):
+                tags[:] = saved
+    predictor = getattr(timing, "predictor", None)
+    counters = getattr(predictor, "_counters", None)
+    if counters is not None and "predictor" in state:
+        counters[:] = state["predictor"]
+
+
 class Machine:
     """A single-hart RV32IM machine with optional CFU and timing model."""
 
@@ -334,6 +492,22 @@ class Machine:
         self.block_invalidation_count = 0
         self.block_compile_seconds = 0.0
         self.last_run_backend = None
+        # Machine-level data-page tuple cache shared by every generated
+        # block (page index -> resolved access tuple).  Its identity is
+        # baked into generated code; mutate in place, never rebind.  The
+        # memory evicts entries on COW transitions (see register_page_cache).
+        self._data_page_cache = {}
+        self._page_resolver = None
+        if hasattr(self.memory, "register_page_cache"):
+            self.memory.register_page_cache(self._data_page_cache)
+        # Persistent cross-process translation cache (a
+        # :class:`~repro.core.codecache.CodeCache`, or None to only
+        # code-generate in-process).
+        self.compile_cache = None
+        self.block_cache_loads = 0     # blocks bound from cached source
+        self.snapshot_count = 0
+        self.restore_count = 0
+        self.pages_restored = 0
 
     # --- decode cache ---------------------------------------------------------------
     @property
@@ -370,6 +544,8 @@ class Machine:
         self._blocks.clear()
         self._block_pages.clear()
         self._block_hot.clear()
+        self._data_page_cache.clear()
+        self._page_resolver = None  # timing/traffic may have changed
 
     def _invalidate_block_page(self, page):
         blocks = self._blocks
@@ -399,6 +575,84 @@ class Machine:
                 self._invalidate_block_page(last)
                 hit = True
         return hit
+
+    def invalidate_pages(self, addr, length):
+        """Drop decode + block cache entries only for the pages covering
+        ``[addr, addr + length)`` — the page-granular alternative to
+        :meth:`flush_decode_cache` for reload paths where most resident
+        code is unchanged.  Returns the number of pages invalidated."""
+        if length <= 0:
+            return 0
+        dropped = 0
+        first = addr >> _PAGE_BITS
+        last = (addr + length - 1) >> _PAGE_BITS
+        for page in range(first, last + 1):
+            hit = False
+            if page in self._decode_pages:
+                self._invalidate_page(page)
+                hit = True
+            if page in self._block_pages:
+                self._invalidate_block_page(page)
+                hit = True
+            if hit:
+                dropped += 1
+        return dropped
+
+    # --- snapshots -------------------------------------------------------------------
+    def snapshot(self):
+        """An O(pages-touched) copy-on-write snapshot of the whole
+        machine: memory (COW — nothing is copied until written),
+        architectural registers, counters, the timing model's cache and
+        predictor state, and the CFU's state (via its
+        ``snapshot_state()`` protocol).  The decode and block caches are
+        *not* part of the snapshot — they are derived state, and
+        :meth:`restore` invalidates them only for the restored pages, so
+        warm translated code survives across restore cycles."""
+        self.snapshot_count += 1
+        return {
+            "memory": self.memory.snapshot(),
+            "regs": list(self.regs),
+            "pc": self.pc,
+            "instret": self.instret,
+            "cycles": self.cycles,
+            "halted": self.halted,
+            "exit_code": self.exit_code,
+            "pending_rd": self._pending_rd,
+            "pending_is_load": self._pending_is_load,
+            "timing": _timing_state(self.timing),
+            "cfu": (self.cfu.snapshot_state()
+                    if hasattr(self.cfu, "snapshot_state") else None),
+        }
+
+    def restore(self, snap):
+        """Rewind to a :meth:`snapshot`.  Costs O(pages written since
+        the snapshot); decode/block cache entries are invalidated only
+        for restored pages.  Returns the number of pages restored."""
+        restored = self.memory.restore(snap["memory"])
+        for page in restored:
+            if page in self._decode_pages:
+                self._invalidate_page(page)
+            if page in self._block_pages:
+                self._invalidate_block_page(page)
+        self.regs[:] = snap["regs"]
+        self.pc = snap["pc"]
+        self.instret = snap["instret"]
+        self.cycles = snap["cycles"]
+        self.halted = snap["halted"]
+        self.exit_code = snap["exit_code"]
+        self._pending_rd = snap["pending_rd"]
+        self._pending_is_load = snap["pending_is_load"]
+        _restore_timing_state(self.timing, snap["timing"])
+        if snap["cfu"] is not None and hasattr(self.cfu, "restore_state"):
+            self.cfu.restore_state(snap["cfu"])
+        self.restore_count += 1
+        self.pages_restored += len(restored)
+        return len(restored)
+
+    def discard_snapshot(self, snap):
+        """Stop a snapshot's undo log from accumulating (it can no
+        longer be restored)."""
+        self.memory.discard_snapshot(snap["memory"])
 
     def _promote(self, pc):
         """Translate the block at ``pc`` and install it (or a sentinel
@@ -450,6 +704,12 @@ class Machine:
                          **labels).add(self.block_promotions)
         registry.counter("sim_block_invalidations",
                          **labels).add(self.block_invalidation_count)
+        registry.counter("sim_block_cache_loads",
+                         **labels).add(self.block_cache_loads)
+        registry.counter("sim_snapshots", **labels).add(self.snapshot_count)
+        registry.counter("sim_restores", **labels).add(self.restore_count)
+        registry.counter("sim_pages_restored",
+                         **labels).add(self.pages_restored)
         if self.timing is not None:
             for cache in (self.timing.icache, self.timing.dcache):
                 if cache is None:

@@ -210,24 +210,248 @@ def _pending_after(op):
     return 0, False  # stores, branches, jumps
 
 
+def _mem_style(mem):
+    """Memory access style for code generation.  Traffic accounting
+    must observe every transaction, so it forces the slow (method-call)
+    style; the dispatch loop flushes blocks when the flag flips."""
+    if getattr(mem, "_traffic", None) is not None:
+        return "slow"
+    if getattr(mem, "_page_data", None) is not None:
+        return "bus"
+    if isinstance(mem, SparseMemory):
+        return "sparse"
+    return "slow"
+
+
+def _build_resolver(machine):
+    """The machine-level page resolver shared by every generated block:
+    page index -> ``(data, base, writable, word view, cost mode, load
+    cost, store cost)``, cached in ``machine._data_page_cache`` (whose
+    identity blocks bake as ``_PGg``).  Only resolvable pages are
+    cached, so a sparse page created later (or a CSR page) is re-probed
+    on the next refresh.
+
+    COW-protected pages resolve as non-writable: generated stores then
+    fall back to the memory's write methods, which record the undo
+    image and lift the protection (the memory evicts the page from this
+    cache on every protection transition, so the next refresh sees it
+    writable again).
+    """
+    mem = machine.memory
+    timing = machine.timing
+    timed = timing is not None
+    style = _mem_style(mem)
+    check_align = (not timed) or timing.checks_alignment()
+    use_mv = check_align and _LITTLE
+    pg = machine._data_page_cache
+    protected = getattr(mem, "_cow_protected", ())
+    if style == "bus":
+        _bus_get = mem._page_data.get
+    else:
+        _sp_get = getattr(mem, "_pages", {}).get
+    dcache = getattr(timing, "dcache", None)
+    dc_ok = timed and _dc_inline_ok(timing, dcache)
+    if dc_ok:
+        _mm = timing.memory_map
+        _lbytes = timing.line_bytes
+        _costs = {}
+
+        def _page_costs(page, _dcache=dcache):
+            lo = page << _PAGE_BITS
+            hi = lo + _PAGE_SIZE
+            try:
+                region = _mm.find(lo)
+            except Exception:
+                region = None
+            if region is None or lo < region.base or region.end < hi:
+                entry = (-1, 0, 0)  # page spans regions: keep the call
+            elif _dcache is not None and region.cacheable:
+                fill = 1 + region.tech.line_fill_cycles(_lbytes)
+                entry = (1, fill, fill)
+            else:
+                entry = (0, region.tech.first_word_latency,
+                         region.tech.write_latency)
+            _costs[page] = entry
+            return entry
+
+    def _resolve_page(page):
+        ld, lb, lw, mv = None, 0, False, None
+        if style == "bus":
+            ent = _bus_get(page)
+            if ent is not None:
+                ld, lb, lw = ent
+        else:
+            ld = _sp_get(page)
+            lb = page << _PAGE_BITS
+            lw = ld is not None
+        if lw and page in protected:
+            lw = False  # COW: route stores through the memory methods
+        if use_mv and ld is not None and lb & 3 == 0:
+            mv = _mv_cast(ld)
+        if dc_ok:
+            lc, lmc, lsc = _costs.get(page) or _page_costs(page)
+        else:
+            lc = lmc = lsc = 0
+        out = (ld, lb, lw, mv, lc, lmc, lsc)
+        if ld is not None:
+            pg[page] = out
+        return out
+
+    return _resolve_page
+
+
+def _ensure_resolver(machine):
+    resolver = machine._page_resolver
+    if resolver is None:
+        resolver = _build_resolver(machine)
+        machine._page_resolver = resolver
+    return resolver
+
+
+def _dc_inline_ok(timing, dcache):
+    """Whether the stock-dcache data-access cost can be inlined (the
+    resolver and the code generator must agree on this gate)."""
+    tt = type(timing)
+    return (tt.load_cycles is VexTiming.load_cycles
+            and tt.store_cycles is VexTiming.store_cycles
+            and tt._data_access is VexTiming._data_access
+            and (dcache is None or type(dcache) is Cache))
+
+
+#: Bumped whenever generated-source shape changes, so persistent cache
+#: entries from an older code generator read as misses.
+TRANSLATE_SCHEMA = 1
+
+
+def _timing_key(timing):
+    """The canonical (JSON-able via repr) timing configuration a block
+    bakes in, or a refusal (None return means "don't cache"): only the
+    stock VexTiming is canonicalizable — duck-typed timing doubles have
+    no value identity."""
+    if timing is None:
+        return {"timing": None}
+    if type(timing) is not VexTiming:
+        return None
+    return {
+        "config": repr(timing.config),
+        "regions": [repr(region) for region in timing.memory_map.regions],
+        "line_bytes": timing.line_bytes,
+    }
+
+
+def _block_key(machine, entry_pc, ops, profiled):
+    """The persistent-cache key for one block, or None when this
+    machine configuration cannot be content-addressed."""
+    timing_key = _timing_key(machine.timing)
+    if timing_key is None:
+        return None
+    from ..core.codecache import code_key
+
+    return code_key("tier2-block", {
+        "schema": TRANSLATE_SCHEMA,
+        "pc": entry_pc,
+        # The instruction words come from the already-decoded ops (not
+        # a fresh memory read, which would perturb traffic accounting).
+        "code": [op[5].raw for _p, op in ops],
+        "profiled": bool(profiled),
+        "style": _mem_style(machine.memory),
+        "byteorder": sys.byteorder,
+        "timing": timing_key,
+    })
+
+
+def _candidate(machine, name, n_cfu):
+    """Reconstruct one baked object for a generated block — everything
+    a block closes over is derivable from the live machine, which is
+    what makes cached *source* rebindable in any process."""
+    mem = machine.memory
+    timing = machine.timing
+    if name == "_mr8":
+        return mem.read8
+    if name == "_mr16":
+        return mem.read16
+    if name == "_mr32":
+        return mem.read32
+    if name == "_mw8":
+        return mem.write8
+    if name == "_mw16":
+        return mem.write16
+    if name == "_mw32":
+        return mem.write32
+    if name == "_DP":
+        return machine._decode_pages
+    if name == "_BP":
+        return machine._block_pages
+    if name == "_SI":
+        return machine._invalidate_store
+    if name == "_F":
+        return machine._block_fault
+    if name == "_md":
+        return _muldiv_kind
+    if name == "_PGg":
+        return machine._data_page_cache.get
+    if name == "_RP":
+        return _ensure_resolver(machine)
+    if name == "_CC":
+        return [object()] + [None] * (1 + n_cfu)
+    if name == "_ft":
+        return timing.fetch
+    if name == "_ldc":
+        return timing.load_cycles
+    if name == "_stc":
+        return timing.store_cycles
+    if name == "_bp":
+        return timing.branch_penalty
+    if name == "_ic":
+        return timing.icache
+    if name == "_dc":
+        return timing.dcache
+    if name == "_dsets":
+        return timing.dcache._sets
+    if name == "_bpc":
+        return timing.predictor._counters
+    raise KeyError(f"unknown baked name {name!r}")
+
+
+def _bind(machine, entry_pc, source, need, n_cfu):
+    """``exec`` a block's generated source against this machine's live
+    objects (the emit/bind split: emission is deterministic and cached;
+    binding is per-machine and cheap)."""
+    env = {name: _candidate(machine, name, n_cfu) for name in need}
+    env["MemoryAccessError"] = MemoryAccessError
+    exec(compile(source, f"<block@0x{entry_pc:08x}>", "exec"), env)
+    return env["_block"]
+
+
 def _compile(machine, entry_pc, ops, profiled):
-    """Generate, ``exec``, and return ``(source, function)`` for one
-    block."""
+    """Return ``(source, function)`` for one block, consulting the
+    machine's persistent compile cache: on a hit the cached source is
+    re-bound to this machine without running the code generator."""
+    cache = machine.compile_cache
+    key = _block_key(machine, entry_pc, ops, profiled) \
+        if cache is not None else None
+    if key is not None:
+        from ..core.codecache import MISS
+
+        hit = cache.get(key)
+        if hit is not MISS:
+            machine.block_cache_loads += 1
+            return hit["source"], _bind(machine, entry_pc, hit["source"],
+                                        hit["need"], hit["cfu_sites"])
+    source, need, n_cfu = _emit(machine, entry_pc, ops, profiled)
+    if key is not None:
+        cache.put(key, {"source": source, "need": sorted(need),
+                        "cfu_sites": n_cfu})
+    return source, _bind(machine, entry_pc, source, sorted(need), n_cfu)
+
+
+def _emit(machine, entry_pc, ops, profiled):
+    """Generate one block's source; returns ``(source, need, n_cfu)``
+    where ``need`` names the objects :func:`_bind` must supply."""
     timing = machine.timing
     timed = timing is not None
     mem = machine.memory
-
-    # Memory access style.  Traffic accounting must observe every
-    # transaction, so it forces the slow (method-call) style; the
-    # dispatch loop flushes blocks when the flag flips.
-    if getattr(mem, "_traffic", None) is not None:
-        style = "slow"
-    elif getattr(mem, "_page_data", None) is not None:
-        style = "bus"
-    elif isinstance(mem, SparseMemory):
-        style = "sparse"
-    else:
-        style = "slow"
+    style = _mem_style(mem)
 
     check_align = (not timed) or timing.checks_alignment()
 
@@ -294,11 +518,7 @@ def _compile(machine, entry_pc, ops, profiled):
         bp_inline = (tt.branch_penalty is VexTiming.branch_penalty
                      and type(predictor) is BranchPredictor)
         dcache = getattr(timing, "dcache", None)
-        dc_ok = (
-            tt.load_cycles is VexTiming.load_cycles
-            and tt.store_cycles is VexTiming.store_cycles
-            and tt._data_access is VexTiming._data_access
-            and (dcache is None or type(dcache) is Cache))
+        dc_ok = _dc_inline_ok(timing, dcache)
 
     # --- registers touched ------------------------------------------------------
     reads, writes = set(), set()
@@ -343,38 +563,15 @@ def _compile(machine, entry_pc, ops, profiled):
     # cache.  With that, the whole dcache simulation (LRU tag lists,
     # hit/miss stats, fill cost) inlines to a handful of integer ops.
     dc_inline = timed and dc_ok and use_pcache
-    if dc_inline:
-        _mm = timing.memory_map
-        _lbytes = timing.line_bytes
-        _costs = {}
-
-        def _page_costs(page, _dcache=dcache):
-            lo = page << _PAGE_BITS
-            hi = lo + _PAGE_SIZE
-            try:
-                region = _mm.find(lo)
-            except Exception:
-                region = None
-            if region is None or lo < region.base or region.end < hi:
-                entry = (-1, 0, 0)  # page spans regions: keep the call
-            elif _dcache is not None and region.cacheable:
-                fill = 1 + region.tech.line_fill_cycles(_lbytes)
-                entry = (1, fill, fill)
-            else:
-                entry = (0, region.tech.first_word_latency,
-                         region.tech.write_latency)
-            _costs[page] = entry
-            return entry
-
-        if dcache is not None:
-            dlb, dns = dcache.line_bytes, dcache.num_sets
-            dc_line = (f"_a >> {dlb.bit_length() - 1}"
-                       if dlb & (dlb - 1) == 0 else f"_a // {dlb}")
-            if dns & (dns - 1) == 0:
-                dc_set = f"_ln & {dns - 1}"
-                dc_tag = f"_ln >> {dns.bit_length() - 1}"
-            else:
-                dc_set, dc_tag = f"_ln % {dns}", f"_ln // {dns}"
+    if dc_inline and dcache is not None:
+        dlb, dns = dcache.line_bytes, dcache.num_sets
+        dc_line = (f"_a >> {dlb.bit_length() - 1}"
+                   if dlb & (dlb - 1) == 0 else f"_a // {dlb}")
+        if dns & (dns - 1) == 0:
+            dc_set = f"_ln & {dns - 1}"
+            dc_tag = f"_ln >> {dns.bit_length() - 1}"
+        else:
+            dc_set, dc_tag = f"_ln % {dns}", f"_ln // {dns}"
 
     # A self-loop block owns the icache while it iterates in-function:
     # if its instruction lines all map to distinct sets, iteration 1's
@@ -394,37 +591,10 @@ def _compile(machine, entry_pc, ops, profiled):
     use_mv = (use_pcache and check_align and _LITTLE
               and any(op[0] in (_m._K_LW, _m._K_SW) for _p, op in ops))
 
-    # One resolver covers both styles: page -> (data, base, writable,
-    # word view, cost mode, load cost, store cost), cached across block
-    # calls.  Only resolvable pages are cached, so a sparse page created
-    # later (or a CSR page) is re-probed on the next refresh.
-    if use_pcache:
-        _pg = {}
-        if style == "bus":
-            _bus_get = mem._page_data.get
-        else:
-            _sp_get = mem._pages.get
-
-        def _resolve_page(page):
-            ld, lb, lw, mv = None, 0, False, None
-            if style == "bus":
-                ent = _bus_get(page)
-                if ent is not None:
-                    ld, lb, lw = ent
-            else:
-                ld = _sp_get(page)
-                lb = page << _PAGE_BITS
-                lw = ld is not None
-            if use_mv and ld is not None and lb & 3 == 0:
-                mv = _mv_cast(ld)
-            if dc_inline:
-                lc, lmc, lsc = _page_costs(page)
-            else:
-                lc = lmc = lsc = 0
-            out = (ld, lb, lw, mv, lc, lmc, lsc)
-            if ld is not None:
-                _pg[page] = out
-            return out
+    # Page resolution is machine-level (see _build_resolver): every
+    # block shares one resolver and one page cache, so the resolved
+    # tuples — and the source that consumes them — are block-independent
+    # and the generated source is cacheable across processes.
 
     # --- emission helpers -------------------------------------------------------
     need = set()
@@ -1080,29 +1250,6 @@ def _compile(machine, entry_pc, ops, profiled):
                     " pending_rd, pending_is_load)")
 
     prof_params = ", _BG, _NB" if profiled else ""
-    candidates = {
-        "_mr8": mem.read8, "_mr16": mem.read16, "_mr32": mem.read32,
-        "_mw8": mem.write8, "_mw16": mem.write16, "_mw32": mem.write32,
-        "_DP": machine._decode_pages, "_BP": machine._block_pages,
-        "_SI": machine._invalidate_store, "_F": machine._block_fault,
-        "_md": _muldiv_kind,
-    }
-    if use_pcache:
-        candidates["_PGg"] = _pg.get
-        candidates["_RP"] = _resolve_page
-    if cfu_sites:
-        candidates["_CC"] = [object()] + [None] * (1 + len(cfu_sites))
-    if timed:
-        candidates.update(_ft=timing.fetch, _ldc=timing.load_cycles,
-                          _stc=timing.store_cycles,
-                          _bp=timing.branch_penalty)
-        if ic_mode == "line":
-            candidates["_ic"] = timing.icache
-        if dc_inline:
-            candidates["_dc"] = dcache
-            candidates["_dsets"] = dcache._sets
-        if bp_inline and predictor.kind in ("dynamic", "dynamic_target"):
-            candidates["_bpc"] = predictor._counters
     # Baked objects ride in as argument defaults (evaluated once at
     # def time from the exec globals): local-variable access speed in
     # the body, no cell indirection.
@@ -1110,7 +1257,4 @@ def _compile(machine, entry_pc, ops, profiled):
     head = (f"def _block(_R, cycles, pending_rd, pending_is_load,"
             f" _cfu, _budget{prof_params}{defaults}):")
     source = "\n".join([head] + lines + tail) + "\n"
-    env = {name: candidates[name] for name in need}
-    env["MemoryAccessError"] = MemoryAccessError
-    exec(compile(source, f"<block@0x{entry_pc:08x}>", "exec"), env)
-    return source, env["_block"]
+    return source, need, len(cfu_sites)

@@ -206,9 +206,16 @@ def evaluate_design(model, board, parameters, family):
 _WORKER_STATE = {}
 
 
-def _init_fig7_worker(model, board):
+def _init_fig7_worker(model, board, compile_cache_dir=None):
     _WORKER_STATE["model"] = model
     _WORKER_STATE["board"] = board
+    if compile_cache_dir is not None:
+        # Point the process-wide code cache at the shared directory so
+        # every simulation-backed evaluation in this worker binds
+        # tier-2 blocks and compiled RTL instead of regenerating them.
+        from ..core.codecache import configure
+
+        configure(compile_cache_dir)
 
 
 def _fig7_worker_evaluate(task):
@@ -228,7 +235,7 @@ class Fig7Evaluator:
     """
 
     def __init__(self, model=None, board=ARTY_A7_35T, cache=None, tracer=None,
-                 sim_backend="auto"):
+                 sim_backend="auto", compile_cache=None):
         self.model = model or load("mobilenet_v2", width_multiplier=0.75,
                                    num_classes=100)
         self.board = board
@@ -239,6 +246,12 @@ class Fig7Evaluator:
         #: analytic oracle performs no ISA simulation, so this only
         #: affects evaluators that cross-validate on the simulator.
         self.sim_backend = sim_backend
+        #: Persistent tier-2/RTL compile cache for simulation-backed
+        #: evaluation (a CodeCache, a directory path, or True for the
+        #: process default); the analytic oracle itself never compiles.
+        from ..emu.renode import _resolve_compile_cache
+
+        self.compile_cache = _resolve_compile_cache(compile_cache)
 
     def cache_key(self, parameters, family):
         return cache_key(parameters, family,
@@ -301,7 +314,7 @@ class Fig7Evaluator:
 
 def run_fig7(trials_per_family=120, seed=0, evaluator=None,
              algorithm_factory=None, workers=1, batch=None, cache_dir=None,
-             tracer=None, sim_backend="auto"):
+             tracer=None, sim_backend="auto", compile_cache_dir=None):
     """Run the three studies and return a :class:`DseResult`.
 
     ``workers`` shards each suggestion batch across processes;
@@ -314,6 +327,9 @@ def run_fig7(trials_per_family=120, seed=0, evaluator=None,
     execution tier for simulation-backed evaluators (the stock analytic
     oracle simulates nothing, so for it the knob is recorded but inert);
     it is validated eagerly and stamped on the run trace.
+    ``compile_cache_dir`` shares one persistent tier-2/RTL compile
+    cache across every worker process, so a firmware common to many
+    trials compiles once for the whole fleet.
     """
     from ..cpu.machine import SIM_BACKENDS
 
@@ -339,11 +355,16 @@ def run_fig7(trials_per_family=120, seed=0, evaluator=None,
         raise ValueError(f"batch must be >= 1, got {batch}")
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    if compile_cache_dir is not None:
+        from ..core.codecache import CodeCache
+
+        evaluator.compile_cache = CodeCache(str(compile_cache_dir))
     result = DseResult()
     pool = None
     if workers > 1:
         pool = WorkerPool(workers, initializer=_init_fig7_worker,
-                          initargs=(evaluator.model, evaluator.board))
+                          initargs=(evaluator.model, evaluator.board,
+                                    compile_cache_dir))
     try:
         for family in CFU_FAMILIES:
             tracer.event("family_start", family=family,

@@ -1,6 +1,14 @@
 """System emulation: Renode-style ISA+RTL co-simulation and VCD capture."""
 
 from .renode import Emulator
+from .sessions import (
+    SessionClient,
+    SessionManager,
+    SessionServerThread,
+)
 from .waveform import VcdWriter, capture_cfu_waveform
 
-__all__ = ["Emulator", "VcdWriter", "capture_cfu_waveform"]
+__all__ = [
+    "Emulator", "SessionClient", "SessionManager", "SessionServerThread",
+    "VcdWriter", "capture_cfu_waveform",
+]

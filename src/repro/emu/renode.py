@@ -11,6 +11,7 @@ the swap the paper uses for debugging.
 
 from __future__ import annotations
 
+import copy
 import time
 
 from ..cfu.interface import CfuModel, MeteredCfu
@@ -22,10 +23,17 @@ from ..soc.soc import Soc
 
 
 class Emulator:
-    """A SoC + CPU + optional CFU, ready to run programs."""
+    """A SoC + CPU + optional CFU, ready to run programs.
+
+    ``compile_cache`` accepts a :class:`~repro.core.codecache.CodeCache`
+    (or a directory path, or ``True`` for the process-wide default): the
+    machine then binds tier-2 translated blocks from cached generated
+    source instead of re-running the code generator — across processes
+    when the cache is directory-backed.
+    """
 
     def __init__(self, soc, cfu=None, with_timing=True, tracer=None,
-                 rtl_backend="auto", sim_backend="auto"):
+                 rtl_backend="auto", sim_backend="auto", compile_cache=None):
         if not isinstance(soc, Soc):
             raise TypeError("Emulator requires a Soc")
         self.soc = soc
@@ -45,13 +53,16 @@ class Emulator:
         timing = (VexTiming(soc.cpu_config, soc.memory_map)
                   if with_timing else None)
         self.machine = Machine(memory=self.bus, cfu=cfu, timing=timing)
+        self.machine.compile_cache = _resolve_compile_cache(compile_cache)
 
     # --- program loading -------------------------------------------------------
     def load_binary(self, blob, region="sram", offset=0):
         base = self.soc.memory_map.get(region).base + offset
         self.bus.load_bytes(base, blob)
-        # Loading bypasses the store path, so drop any stale decodes.
-        self.machine.flush_decode_cache()
+        # Loading bypasses the store path, so drop stale decodes — but
+        # only for the pages actually rewritten: blocks translated for
+        # untouched pages survive a reload.
+        self.machine.invalidate_pages(base, len(blob))
         self.machine.pc = base
         return base
 
@@ -59,9 +70,48 @@ class Emulator:
         base = self.soc.memory_map.get(region).base + offset
         code, symbols = assemble(source, origin=base)
         self.bus.load_bytes(base, code)
-        self.machine.flush_decode_cache()
+        self.machine.invalidate_pages(base, len(code))
         self.machine.pc = base
         return symbols
+
+    # --- warm state -------------------------------------------------------------
+    def snapshot(self):
+        """Snapshot the whole system: machine (COW memory, registers,
+        timing caches, CFU) plus peripheral/CSR state and bus traffic
+        counters.  O(pages later touched), not O(memory)."""
+        return {
+            "machine": self.machine.snapshot(),
+            "csr": {register.name: register.value
+                    for register in self.soc.csr_bank.registers},
+            "peripherals": {
+                peripheral.name: copy.deepcopy(peripheral.__dict__)
+                for peripheral in [self.soc.spiflash] + self.soc.peripherals},
+            "traffic": (None if self.bus._traffic is None
+                        else {key: list(value)
+                              for key, value in self.bus._traffic.items()}),
+        }
+
+    def restore(self, snap):
+        """Restore a :meth:`snapshot`.  Returns the number of memory
+        pages rewritten."""
+        restored = self.machine.restore(snap["machine"])
+        for register in self.soc.csr_bank.registers:
+            if register.name in snap["csr"]:
+                register.value = snap["csr"][register.name]
+        saved_peripherals = snap["peripherals"]
+        for peripheral in [self.soc.spiflash] + self.soc.peripherals:
+            state = saved_peripherals.get(peripheral.name)
+            if state is not None:
+                peripheral.__dict__.update(copy.deepcopy(state))
+        if snap["traffic"] is not None and self.bus._traffic is not None:
+            self.bus._traffic.clear()
+            self.bus._traffic.update(
+                {key: list(value) for key, value in snap["traffic"].items()})
+        return restored
+
+    def discard_snapshot(self, snap):
+        """Stop accumulating undo records for a snapshot."""
+        self.machine.discard_snapshot(snap["machine"])
 
     # --- execution ---------------------------------------------------------------
     def _resolve_backend(self, fast, backend):
@@ -147,6 +197,17 @@ class Emulator:
         self.cfu = cfu
         self.machine.cfu = cfu
         return self
+
+
+def _resolve_compile_cache(compile_cache):
+    """None | True | path | CodeCache -> CodeCache or None."""
+    if compile_cache is None or hasattr(compile_cache, "get"):
+        return compile_cache
+    from ..core.codecache import CodeCache, default_cache
+
+    if compile_cache is True:
+        return default_cache()
+    return CodeCache(str(compile_cache))
 
 
 def uart_putc_assembly(csr_address):

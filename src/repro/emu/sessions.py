@@ -1,0 +1,626 @@
+"""The emulation session fleet: warm machines behind a wire API.
+
+Interactive TinyML bring-up (Section II-E) is a loop — load firmware,
+run, inspect, tweak, run again — and the expensive parts of each lap
+are *setup*: building the SoC, decoding firmware, promoting hot blocks
+to tier-2 translated code, compiling the CFU's RTL.  This module keeps
+all of that warm across laps:
+
+- **Sessions** — each session is a live :class:`~repro.emu.Emulator`
+  (board + CPU + optional CFU) that persists between requests, so the
+  decode cache, translated blocks, and compiled RTL stay hot.
+
+- **Copy-on-write snapshots** — ``POST .../snapshot`` captures the
+  whole system in O(pages-later-touched) via the machine's COW page
+  protocol; ``POST .../restore`` rewinds to any live snapshot without
+  losing a single cached decode or translated block for untouched
+  pages.
+
+- **Shared persistent compile cache** — every session binds tier-2
+  blocks and compiled RTL modules from one process-wide
+  :class:`~repro.core.codecache.CodeCache`, so a firmware compiles
+  once, ever, no matter how many sessions (or processes, when the
+  cache is directory-backed) run it.
+
+- **LRU fleet management** — the manager caps live sessions and evicts
+  the least-recently-used one on overflow, bounding host memory while
+  keeping the hottest machines resident.
+
+The HTTP layer mirrors :mod:`repro.dse.service`: a dependency-free
+asyncio HTTP/1.1 server with synchronous handlers, so every state
+transition is atomic with respect to the wire.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import itertools
+import json
+import threading
+import time
+
+from ..core.metrics import MetricsRegistry
+# The wire plumbing is shared with the DSE study service — both servers
+# speak the same minimal JSON-over-HTTP/1.1 dialect.
+from ..dse.service import _json_bytes, _read_request
+from .renode import Emulator, _resolve_compile_cache
+
+SESSIONS_SCHEMA_VERSION = 1
+
+#: Live sessions kept resident before LRU eviction kicks in.
+DEFAULT_MAX_SESSIONS = 32
+
+#: Histogram buckets for per-request step/run wall seconds.
+STEP_SECONDS_BUCKETS = (0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05,
+                        0.1, 0.5, 1.0, 5.0)
+
+
+class SessionError(Exception):
+    """A request the session server refuses; carries the HTTP status."""
+
+    def __init__(self, message, status=400):
+        super().__init__(message)
+        self.status = status
+
+
+def _build_cfu(name, impl):
+    """A CFU instance from its wire spec (library name + impl flavor).
+
+    ``impl`` picks the realisation: ``"model"`` for the software
+    emulation, ``"rtl"`` for cycle-accurate gateware (the Emulator
+    wraps bare :class:`~repro.cfu.rtl.RtlCfu` instances itself).
+    """
+    if name in (None, "", "none"):
+        return None
+    from ..accel import LIBRARY, KwsCfu, KwsCfu2Rtl
+
+    if impl not in ("model", "rtl"):
+        raise SessionError(f"unknown cfu impl {impl!r} "
+                           f"(expected 'model' or 'rtl')")
+    if name in LIBRARY:
+        model_cls, rtl_cls, _opcodes = LIBRARY[name]
+        return rtl_cls() if impl == "rtl" else model_cls()
+    if name == "kws":
+        return KwsCfu2Rtl() if impl == "rtl" else KwsCfu()
+    from ..accel import LIBRARY as lib
+    known = sorted(lib) + ["kws", "none"]
+    raise SessionError(f"unknown cfu {name!r} "
+                       f"(expected one of {', '.join(known)})")
+
+
+def _build_emulator(spec, compile_cache):
+    from ..boards import get_board
+    from ..soc.soc import Soc
+
+    try:
+        board = get_board(spec.get("board", "arty_a7_35t"))
+    except KeyError as error:
+        raise SessionError(str(error)) from None
+    cfu = _build_cfu(spec.get("cfu"), spec.get("cfu_impl", "model"))
+    return Emulator(
+        Soc(board), cfu=cfu,
+        with_timing=bool(spec.get("with_timing", True)),
+        rtl_backend=spec.get("rtl_backend", "auto"),
+        sim_backend=spec.get("sim_backend", "auto"),
+        compile_cache=compile_cache,
+    )
+
+
+class Session:
+    """One warm emulator plus its named snapshots and loaded symbols."""
+
+    def __init__(self, manager, session_id, spec):
+        self.manager = manager
+        self.session_id = session_id
+        self.spec = dict(spec)
+        self.emulator = _build_emulator(self.spec, manager.compile_cache)
+        self.symbols = {}
+        self.entry_pc = None
+        self.snapshots = {}           # snapshot_id -> emulator snapshot
+        self._snap_ids = itertools.count(1)
+        self.created = time.monotonic()
+        self.runs = 0
+        self.instructions_run = 0
+
+    # --- operations ---------------------------------------------------------------
+    def load(self, payload):
+        """Load firmware into the (warm) machine.
+
+        ``assembly`` is assembled in place; ``binary_hex`` loads raw
+        bytes.  Either way only the rewritten pages are invalidated, so
+        translated blocks for untouched pages survive the reload.
+        """
+        region = str(payload.get("region", "sram"))
+        offset = int(payload.get("offset", 0))
+        try:
+            if "assembly" in payload:
+                self.symbols = self.emulator.load_assembly(
+                    str(payload["assembly"]), region=region, offset=offset)
+            elif "binary_hex" in payload:
+                blob = bytes.fromhex(str(payload["binary_hex"]))
+                self.emulator.load_binary(blob, region=region, offset=offset)
+                self.symbols = {}
+            else:
+                raise SessionError(
+                    "load needs 'assembly' or 'binary_hex'")
+        except SessionError:
+            raise
+        except (KeyError, ValueError) as error:
+            raise SessionError(f"load failed: {error}") from None
+        machine = self.emulator.machine
+        machine.halted = False
+        machine.exit_code = None
+        self.entry_pc = machine.pc
+        return {"pc": machine.pc,
+                "symbols": {name: addr for name, addr
+                            in sorted(self.symbols.items())}}
+
+    def run(self, payload):
+        """Execute up to ``max_instructions`` from the current state."""
+        budget = int(payload.get("max_instructions", 1_000_000))
+        if budget < 1:
+            raise SessionError(f"max_instructions must be >= 1, got {budget}")
+        backend = payload.get("backend")
+        machine = self.emulator.machine
+        before = machine.instret
+        started = time.perf_counter()
+        try:
+            exit_code = self.emulator.run(budget, backend=backend)
+        except RuntimeError as error:
+            # budget exhaustion is a normal partial step, not a fault
+            if "instruction budget exhausted" not in str(error):
+                raise SessionError(f"run failed: {error!r}",
+                                   status=500) from None
+            exit_code = None
+        except Exception as error:
+            raise SessionError(f"run failed: {error!r}", status=500) from None
+        elapsed = time.perf_counter() - started
+        executed = machine.instret - before
+        self.runs += 1
+        self.instructions_run += executed
+        self.manager.observe_run(elapsed)
+        return {
+            "exit_code": exit_code,
+            "halted": machine.halted,
+            "instructions": executed,
+            "instret": machine.instret,
+            "cycles": machine.cycles,
+            "pc": machine.pc,
+            "seconds": elapsed,
+        }
+
+    def snapshot(self):
+        snapshot_id = f"snap-{next(self._snap_ids)}"
+        started = time.perf_counter()
+        self.snapshots[snapshot_id] = self.emulator.snapshot()
+        elapsed = time.perf_counter() - started
+        self.manager.metrics.counter("session_snapshots").inc()
+        return {"snapshot_id": snapshot_id, "seconds": elapsed}
+
+    def restore(self, payload):
+        snapshot_id = str(payload.get("snapshot_id", ""))
+        snap = self.snapshots.get(snapshot_id)
+        if snap is None:
+            raise SessionError(
+                f"no snapshot {snapshot_id!r} in session "
+                f"{self.session_id}", status=404)
+        started = time.perf_counter()
+        pages = self.emulator.restore(snap)
+        elapsed = time.perf_counter() - started
+        self.manager.metrics.counter("session_restores").inc()
+        return {"snapshot_id": snapshot_id, "pages_restored": pages,
+                "seconds": elapsed}
+
+    def discard(self, payload):
+        snapshot_id = str(payload.get("snapshot_id", ""))
+        snap = self.snapshots.pop(snapshot_id, None)
+        if snap is None:
+            raise SessionError(
+                f"no snapshot {snapshot_id!r} in session "
+                f"{self.session_id}", status=404)
+        self.emulator.discard_snapshot(snap)
+        return {"snapshot_id": snapshot_id, "discarded": True}
+
+    def profile(self, payload):
+        """Run the loaded program under the cycle profiler."""
+        if not self.symbols:
+            raise SessionError(
+                "profile needs assembly-loaded firmware (no symbol table)")
+        budget = int(payload.get("max_instructions", 1_000_000))
+        backend = payload.get("backend")
+        machine = self.emulator.machine
+        # Profile the loaded program from its entry point, not from
+        # wherever the last run left the pc (that would measure the
+        # final ecall and nothing else).
+        machine.halted = False
+        machine.pc = self.entry_pc
+        try:
+            profile = self.emulator.profile(self.symbols, budget,
+                                            backend=backend)
+        except Exception as error:
+            raise SessionError(f"profile failed: {error!r}",
+                               status=500) from None
+        return {
+            "total_cycles": profile.total_cycles,
+            "truncated": profile.truncated,
+            "instruction_mix": dict(profile.instruction_mix),
+            "entries": [
+                {"name": entry.name, "cycles": entry.cycles,
+                 "instructions": entry.instructions}
+                for entry in profile.top(len(profile.entries))
+            ],
+        }
+
+    # --- wire form ----------------------------------------------------------------
+    def status(self):
+        machine = self.emulator.machine
+        cfu = self.emulator.cfu
+        return {
+            "session_id": self.session_id,
+            "board": self.spec.get("board", "arty_a7_35t"),
+            "cfu": self.spec.get("cfu") or "none",
+            "cfu_name": getattr(cfu, "name", "none") if cfu else "none",
+            "sim_backend": self.emulator.sim_backend,
+            "pc": machine.pc,
+            "instret": machine.instret,
+            "cycles": machine.cycles,
+            "halted": machine.halted,
+            "exit_code": machine.exit_code,
+            "runs": self.runs,
+            "instructions_run": self.instructions_run,
+            "snapshots": sorted(self.snapshots),
+            "block_cache_entries": machine.block_cache_entries,
+            "block_cache_loads": machine.block_cache_loads,
+            "uart": self.emulator.uart_output,
+        }
+
+
+class SessionManager:
+    """The fleet: many live sessions, one compile cache, LRU-bounded.
+
+    ``compile_cache`` follows the :class:`Emulator` convention —
+    ``True`` for the process-wide default cache, a directory path for a
+    dedicated one, ``None`` to disable persistent compile reuse.
+    """
+
+    def __init__(self, max_sessions=DEFAULT_MAX_SESSIONS, compile_cache=True,
+                 metrics=None):
+        if max_sessions < 1:
+            raise ValueError(f"max_sessions must be >= 1, got {max_sessions}")
+        self.max_sessions = max_sessions
+        self.compile_cache = _resolve_compile_cache(compile_cache)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.sessions = {}            # insertion-ordered: LRU front-to-back
+        self._ids = itertools.count(1)
+        self._export_gauges()
+
+    # --- lifecycle ----------------------------------------------------------------
+    def create(self, spec):
+        session_id = str(spec.get("session_id") or
+                         f"session-{next(self._ids)}")
+        if session_id in self.sessions:
+            raise SessionError(f"session {session_id} already exists",
+                               status=409)
+        session = Session(self, session_id, spec)
+        self.sessions[session_id] = session
+        self.metrics.counter("sessions_created").inc()
+        while len(self.sessions) > self.max_sessions:
+            evicted = next(iter(self.sessions))
+            del self.sessions[evicted]
+            self.metrics.counter("sessions_evicted").inc()
+        self._export_gauges()
+        return session
+
+    def get(self, session_id):
+        try:
+            session = self.sessions.pop(session_id)
+        except KeyError:
+            raise SessionError(f"no session {session_id}",
+                               status=404) from None
+        self.sessions[session_id] = session   # touch: move to LRU back
+        return session
+
+    def delete(self, session_id):
+        try:
+            del self.sessions[session_id]
+        except KeyError:
+            raise SessionError(f"no session {session_id}",
+                               status=404) from None
+        self.metrics.counter("sessions_deleted").inc()
+        self._export_gauges()
+        return {"session_id": session_id, "deleted": True}
+
+    def list_statuses(self):
+        return [self.sessions[sid].status() for sid in sorted(self.sessions)]
+
+    # --- observability ------------------------------------------------------------
+    def observe_run(self, seconds):
+        self.metrics.counter("session_runs").inc()
+        self.metrics.histogram("session_run_seconds",
+                               buckets=STEP_SECONDS_BUCKETS).observe(seconds)
+
+    def _export_gauges(self):
+        self.metrics.gauge("sessions_active").set(len(self.sessions))
+
+    def snapshot_metrics(self):
+        """The registry snapshot, with live compile-cache stats folded
+        in as gauges (the cache is shared, so these are fleet-wide)."""
+        if self.compile_cache is not None:
+            stats = getattr(self.compile_cache, "stats", None)
+            if stats is not None:
+                for name, value in stats.as_dict().items():
+                    self.metrics.gauge(f"codecache_{name}").set(value)
+        return self.metrics.snapshot()
+
+
+# --------------------------------------------------------------------------------
+# The HTTP layer
+# --------------------------------------------------------------------------------
+
+
+class SessionHttpServer:
+    """Serves a :class:`SessionManager` over HTTP/1.1."""
+
+    def __init__(self, manager, host="127.0.0.1", port=0):
+        self.manager = manager
+        self.host = host
+        self.port = port
+        self._server = None
+
+    async def start(self):
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def wait_closed(self):
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    @property
+    def url(self):
+        return f"http://{self.host}:{self.port}"
+
+    async def _handle_connection(self, reader, writer):
+        try:
+            while True:
+                request = await _read_request(reader)
+                if request is None:
+                    break
+                method, target, headers, body = request
+                await self._handle_request(method, target, body, writer)
+                if headers.get("connection", "").lower() == "close":
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            pass  # server shutdown: close the socket and finish quietly
+        finally:
+            try:
+                writer.close()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handle_request(self, method, target, body, writer):
+        path, _, _query = target.partition("?")
+        parts = [p for p in path.split("/") if p]
+        route, handler = self._route(method, parts)
+        self.manager.metrics.counter("session_http_requests",
+                                     route=route).inc()
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else {}
+        except ValueError:
+            writer.write(_json_bytes(400, {"error": "malformed JSON body"}))
+            await writer.drain()
+            return
+        try:
+            status, result = handler(parts, payload)
+        except SessionError as error:
+            status, result = error.status, {"error": str(error)}
+        except Exception as error:  # never kill the connection loop
+            status, result = 500, {"error": f"internal error: {error!r}"}
+        writer.write(_json_bytes(status, result))
+        await writer.drain()
+
+    def _route(self, method, parts):
+        manager = self.manager
+        if method == "GET" and parts == ["healthz"]:
+            return "healthz", lambda p, b: (200, {
+                "ok": True, "schema": SESSIONS_SCHEMA_VERSION})
+        if method == "GET" and parts == ["metrics"]:
+            return "metrics", lambda p, b: (200, manager.snapshot_metrics())
+        if method == "GET" and parts == ["sessions"]:
+            return "list", lambda p, b: (200, {
+                "sessions": manager.list_statuses(),
+                "max_sessions": manager.max_sessions})
+        if method == "POST" and parts == ["sessions"]:
+            return "create", lambda p, b: (200, manager.create(b).status())
+        if len(parts) >= 2 and parts[0] == "sessions":
+            session_id = parts[1]
+            tail = parts[2:]
+            if method == "GET" and not tail:
+                return "status", lambda p, b: (
+                    200, manager.get(session_id).status())
+            if method == "DELETE" and not tail:
+                return "delete", lambda p, b: (
+                    200, manager.delete(session_id))
+            if method == "POST" and len(tail) == 1:
+                verb = tail[0]
+                actions = {
+                    "load": lambda s, b: s.load(b),
+                    "run": lambda s, b: s.run(b),
+                    "step": lambda s, b: s.run(b),
+                    "snapshot": lambda s, b: s.snapshot(),
+                    "restore": lambda s, b: s.restore(b),
+                    "discard-snapshot": lambda s, b: s.discard(b),
+                    "profile": lambda s, b: s.profile(b),
+                }
+                if verb in actions:
+                    action = actions[verb]
+                    return verb, lambda p, b: (
+                        200, action(manager.get(session_id), b))
+        return "unknown", lambda p, b: (
+            404, {"error": f"no route {method} /{'/'.join(parts)}"})
+
+
+def serve(manager, host="127.0.0.1", port=8744):
+    """Blocking entry point (``repro sessions serve``)."""
+    async def _main():
+        server = await SessionHttpServer(manager, host, port).start()
+        await server._server.serve_forever()
+    asyncio.run(_main())
+
+
+class SessionServerThread:
+    """A served :class:`SessionManager` on a background thread (tests
+    and the benchmark harness)."""
+
+    def __init__(self, manager, host="127.0.0.1", port=0):
+        self.manager = manager
+        self._http = SessionHttpServer(manager, host, port)
+        self._loop = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=10.0):
+            raise RuntimeError("session server thread failed to start")
+
+    def _run(self):
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        loop.run_until_complete(self._http.start())
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(self._http.wait_closed())
+            tasks = asyncio.all_tasks(loop)
+            for task in tasks:
+                task.cancel()
+            if tasks:
+                loop.run_until_complete(
+                    asyncio.gather(*tasks, return_exceptions=True))
+            loop.close()
+
+    @property
+    def url(self):
+        return self._http.url
+
+    def stop(self):
+        if self._loop is not None and self._loop.is_running():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10.0)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.stop()
+        return False
+
+
+class SessionClientError(RuntimeError):
+    """A 4xx/5xx from the session server."""
+
+    def __init__(self, status, payload):
+        super().__init__(f"HTTP {status}: {payload.get('error', payload)}")
+        self.status = status
+        self.payload = payload
+
+
+class SessionClient:
+    """Minimal JSON-over-HTTP client for the session server."""
+
+    def __init__(self, base_url, timeout=30.0):
+        import urllib.parse
+
+        parsed = urllib.parse.urlsplit(base_url)
+        self.host = parsed.hostname or "127.0.0.1"
+        self.port = parsed.port or 80
+        self.timeout = timeout
+        self._conn = None
+
+    def _connection(self):
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout)
+        return self._conn
+
+    def request(self, method, path, payload=None):
+        body = json.dumps(payload).encode() if payload is not None else b""
+        try:
+            conn = self._connection()
+            conn.request(method, path, body=body,
+                         headers={"Content-Type": "application/json"})
+            response = conn.getresponse()
+            data = response.read()
+            status = response.status
+        except (OSError, http.client.HTTPException):
+            self.close()
+            raise
+        result = json.loads(data.decode("utf-8")) if data else {}
+        if status >= 400:
+            raise SessionClientError(status, result)
+        return result
+
+    def close(self):
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except OSError:
+                pass
+            self._conn = None
+
+    # --- API surface --------------------------------------------------------------
+    def healthz(self):
+        return self.request("GET", "/healthz")
+
+    def metrics(self):
+        return self.request("GET", "/metrics")
+
+    def create(self, spec=None):
+        return self.request("POST", "/sessions", spec or {})
+
+    def list(self):
+        return self.request("GET", "/sessions")
+
+    def status(self, session_id):
+        return self.request("GET", f"/sessions/{session_id}")
+
+    def delete(self, session_id):
+        return self.request("DELETE", f"/sessions/{session_id}")
+
+    def load(self, session_id, **payload):
+        return self.request("POST", f"/sessions/{session_id}/load", payload)
+
+    def run(self, session_id, **payload):
+        return self.request("POST", f"/sessions/{session_id}/run", payload)
+
+    def step(self, session_id, **payload):
+        return self.request("POST", f"/sessions/{session_id}/step", payload)
+
+    def snapshot(self, session_id):
+        return self.request("POST", f"/sessions/{session_id}/snapshot", {})
+
+    def restore(self, session_id, snapshot_id):
+        return self.request("POST", f"/sessions/{session_id}/restore",
+                            {"snapshot_id": snapshot_id})
+
+    def discard_snapshot(self, session_id, snapshot_id):
+        return self.request("POST",
+                            f"/sessions/{session_id}/discard-snapshot",
+                            {"snapshot_id": snapshot_id})
+
+    def profile(self, session_id, **payload):
+        return self.request("POST", f"/sessions/{session_id}/profile",
+                            payload)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False

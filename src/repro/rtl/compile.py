@@ -59,6 +59,74 @@ class CompileError(RuntimeError):
     """The module uses a construct the compiled backend cannot schedule."""
 
 
+#: Bumped whenever the generated comb/tick source shape changes, so
+#: persistent cache entries from an older code generator read as misses.
+RTL_SCHEMA = 1
+
+#: Process-wide generator activity: modules actually code-generated vs
+#: bound from cached source (benchmarks read these to prove "compile
+#: once per firmware, ever").
+codegen_count = 0
+cache_bind_count = 0
+
+
+def _expr_token(node, slot_of):
+    """Deterministic structural serialization of one expression tree,
+    with signals named by slot index — two modules with the same tokens
+    code-generate byte-identical source."""
+    if isinstance(node, Signal):
+        return f"s{slot_of[id(node)]}"
+    if isinstance(node, Const):
+        return f"C{node.value}w{node.width}g{int(node.signed)}"
+    kind = type(node).__name__
+    if isinstance(node, Slice):
+        extra = f"{node.start}.{node.stop}"
+    elif isinstance(node, Operator):
+        extra = node.op
+    elif isinstance(node, Repl):
+        extra = str(node.count)
+    else:
+        extra = ""
+    inner = ",".join(_expr_token(operand, slot_of)
+                     for operand in node.operands())
+    signed = int(getattr(node, "signed", False))
+    return f"{kind}({extra};w{node.width}g{signed};{inner})"
+
+
+def _module_key(signals, slot_of, memories, comb_stmts, sync_stmts):
+    """Content-address a module's netlist structure (everything the
+    code generator reads), or None when it can't be serialized."""
+    from ..core.codecache import code_key
+
+    try:
+        payload = {
+            "schema": RTL_SCHEMA,
+            "slots": [(sig.width, int(sig.signed), sig.reset)
+                      for sig in signals],
+            "comb": [(_expr_token(stmt.lhs, slot_of),
+                      _expr_token(stmt.rhs, slot_of),
+                      None if stmt.guard is None
+                      else _expr_token(stmt.guard, slot_of))
+                     for stmt in comb_stmts],
+            "sync": [(_expr_token(stmt.lhs, slot_of),
+                      _expr_token(stmt.rhs, slot_of),
+                      None if stmt.guard is None
+                      else _expr_token(stmt.guard, slot_of))
+                     for stmt in sync_stmts],
+            "memories": [
+                (mem.width, mem.depth, list(mem.init),
+                 [(rp.domain, slot_of[id(rp.data)],
+                   _expr_token(rp.addr, slot_of)) for rp in mem.read_ports],
+                 [(_expr_token(wp.en, slot_of),
+                   _expr_token(wp.addr, slot_of),
+                   _expr_token(wp.data, slot_of)) for wp in mem.write_ports])
+                for mem in memories],
+        }
+    except (KeyError, AttributeError, TypeError):
+        return None
+    return code_key("rtl-module", payload)
+
+
 def _reads(value):
     """Signals read inside ``value``, deduplicated, in deterministic order."""
     out, seen, stack = [], set(), [value]
@@ -315,6 +383,43 @@ def _compile(module):
             for value in (wp.en, wp.addr, wp.data):
                 slot_reads(value)
 
+    # --- persistent source cache -------------------------------------------
+    # The generated comb/tick source is a pure function of the netlist
+    # structure: content-address it and skip the lowering passes when
+    # another process (or an earlier module with identical structure)
+    # already generated it.  Re-``exec`` always happens here — only
+    # source text is shared, never code objects.
+    from ..core.codecache import MISS, default_cache
+
+    global codegen_count, cache_bind_count
+    key = _module_key(signals, slot_of, memories, comb_stmts, sync_stmts)
+    cached = MISS
+    if key is not None:
+        cached = default_cache().get(key)
+        if cached is not MISS and cached.get("slots") != len(signals):
+            cached = MISS  # foreign/torn entry: regenerate
+    if cached is not MISS:
+        source, levels = cached["source"], cached["levels"]
+        cache_bind_count += 1
+    else:
+        source, levels = _codegen_module(module, slot_of, memories,
+                                         comb_stmts, sync_stmts, comb_driven)
+        codegen_count += 1
+        if key is not None:
+            default_cache().put(key, {"source": source, "levels": levels,
+                                      "slots": len(signals)})
+    namespace = {}
+    exec(compile(source, f"<rtl-compiled:{module.name}>", "exec"), namespace)
+    driven_ids = {id(sig) for sig in comb_driven | sync_driven}
+    return CompiledProgram(module, signals, slot_of, memories, driven_ids,
+                           namespace["comb"], namespace["tick"], source,
+                           levels)
+
+
+def _codegen_module(module, slot_of, memories, comb_stmts, sync_stmts,
+                    comb_driven):
+    """Lower one module's netlist to ``comb``/``tick`` source; returns
+    ``(source, levels)``.  Deterministic given the slot table."""
     # --- comb netlist: per-target work lists, dependency edges --------------
     comb_ports = {}  # id(data signal) -> [(memory index, read port)]
     for index, mem in enumerate(memories):
@@ -438,12 +543,7 @@ def _compile(module):
         gen2.emit("pass")
 
     source = "\n".join(gen.lines + [""] + gen2.lines + [""])
-    namespace = {}
-    exec(compile(source, f"<rtl-compiled:{module.name}>", "exec"), namespace)
-    driven_ids = {id(sig) for sig in comb_driven | sync_driven}
-    return CompiledProgram(module, signals, slot_of, memories, driven_ids,
-                           namespace["comb"], namespace["tick"], source,
-                           levels)
+    return source, levels
 
 
 _PROGRAM_CACHE = weakref.WeakKeyDictionary()

@@ -8,6 +8,7 @@ loads and stores hit real RAM backings or peripheral registers.
 
 from __future__ import annotations
 
+from ..cpu.machine import CowPagesMixin
 from ..rtl.synth import ResourceReport
 
 
@@ -16,12 +17,33 @@ class BusError(RuntimeError):
 
 
 class RamBacking:
-    """A bytearray-backed RAM/ROM region."""
+    """A bytearray-backed RAM/ROM region.
+
+    The backing store materialises on first touch: an idle region (the
+    256 MiB ``main_ram`` of a session that only ever runs from flash)
+    costs no resident memory, which is what bounds how many warm
+    sessions one host can hold.  Reading ``data`` allocates, so code
+    that only wants to know whether the region was ever touched must
+    check ``materialized`` first.
+    """
+
+    __slots__ = ("region", "writable", "_data")
 
     def __init__(self, region, writable=True):
         self.region = region
         self.writable = writable
-        self.data = bytearray(region.size)
+        self._data = None
+
+    @property
+    def materialized(self):
+        return self._data is not None
+
+    @property
+    def data(self):
+        data = self._data
+        if data is None:
+            data = self._data = bytearray(self.region.size)
+        return data
 
     def load(self, offset, blob):
         self.data[offset:offset + len(blob)] = blob
@@ -30,7 +52,7 @@ class RamBacking:
 _PAGE_BITS = 12
 
 
-class SocBus:
+class SocBus(CowPagesMixin):
     """Decodes addresses to RAM backings or the CSR bank.
 
     Address decode is cached per 4 KiB page: pages that lie entirely
@@ -39,6 +61,13 @@ class SocBus:
     check on every access.  Pages overlapping the CSR window or a region
     boundary are never cached and always take the full decode path, so
     peripheral side effects and bus errors behave exactly as before.
+
+    Copy-on-write snapshots (:class:`~repro.cpu.machine.CowPagesMixin`)
+    index pages in *address* space — the same ``addr >> 12`` indexes the
+    translated-block page resolver uses — with page images clipped to
+    the RAM regions overlapping the page, so region-boundary pages
+    snapshot correctly.  CSR/peripheral state is not memory and is
+    captured at the :class:`~repro.emu.renode.Emulator` level.
     """
 
     def __init__(self, memory_map, csr_bank=None, rom_regions=()):
@@ -48,6 +77,7 @@ class SocBus:
             region.name: RamBacking(region, writable=region.name not in rom_regions)
             for region in memory_map
         }
+        self._init_cow()
         self._page_cache = {}
         # Parallel page cache for generated code (repro.cpu.translate):
         # page -> (backing bytearray, region base, writable).  Kept in
@@ -72,6 +102,40 @@ class SocBus:
 
     def backing(self, name):
         return self.backings[name]
+
+    # --- copy-on-write hooks (CowPagesMixin) -----------------------------------------
+    def _cow_all_pages(self):
+        pages = set()
+        for backing in self.backings.values():
+            region = backing.region
+            pages.update(range(region.base >> _PAGE_BITS,
+                               ((region.end - 1) >> _PAGE_BITS) + 1))
+        return pages
+
+    def _cow_page_image(self, index):
+        lo = index << _PAGE_BITS
+        hi = lo + (1 << _PAGE_BITS)
+        pieces = []
+        for name, backing in sorted(self.backings.items()):
+            region = backing.region
+            start = max(lo, region.base)
+            end = min(hi, region.end)
+            if start < end:
+                offset = start - region.base
+                if backing.materialized:
+                    blob = bytes(backing.data[offset:offset + end - start])
+                else:
+                    # Never touched: the pre-image is zeros, and taking
+                    # it must not materialise the whole region.
+                    blob = bytes(end - start)
+                pieces.append((name, offset, blob))
+        return pieces or None
+
+    def _cow_restore_page(self, index, saved):
+        if saved is None:
+            return  # bus pages always exist; nothing was allocated lazily
+        for name, offset, blob in saved:
+            self.backings[name].data[offset:offset + len(blob)] = blob
 
     # --- traffic metrics ---------------------------------------------------------
     def enable_traffic_metrics(self):
@@ -105,6 +169,11 @@ class SocBus:
         return registry
 
     def load_bytes(self, addr, blob):
+        if blob and self._cow_protected:
+            for page in range(addr >> _PAGE_BITS,
+                              ((addr + len(blob) - 1) >> _PAGE_BITS) + 1):
+                if page in self._cow_protected:
+                    self._cow_record(page)
         backing, offset = self._locate(addr)
         backing.data[offset:offset + len(blob)] = blob
 
@@ -152,6 +221,8 @@ class SocBus:
         return backing.data[offset]
 
     def write8(self, addr, value):
+        if self._cow_protected and (addr >> _PAGE_BITS) in self._cow_protected:
+            self._cow_record(addr >> _PAGE_BITS)
         entry = (self._page_cache.get(addr >> _PAGE_BITS)
                  or self._resolve_page(addr))
         if entry is not None:
@@ -205,6 +276,15 @@ class SocBus:
         return self.read16(addr) | self.read16(addr + 2) << 16
 
     def write32(self, addr, value):
+        if self._cow_protected:
+            # The backing is contiguous across pages, so a misaligned
+            # word store can touch two address pages: record both.
+            page = addr >> _PAGE_BITS
+            if page in self._cow_protected:
+                self._cow_record(page)
+            last = (addr + 3) >> _PAGE_BITS
+            if last != page and last in self._cow_protected:
+                self._cow_record(last)
         entry = (self._page_cache.get(addr >> _PAGE_BITS)
                  or self._resolve_page(addr))
         if entry is not None:

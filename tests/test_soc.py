@@ -49,6 +49,26 @@ def test_bus_read_write(fomu_soc):
     assert bus.read32(base + 16) == 0xCAFEBA11
 
 
+def test_ram_backings_materialize_lazily(arty_soc):
+    """An untouched region costs no resident memory (what bounds warm
+    sessions per host); first touch allocates, snapshots of untouched
+    pages record zero pre-images without allocating."""
+    bus = arty_soc.bus()
+    ram = bus.backing("main_ram")
+    assert not ram.materialized
+
+    snap = bus.snapshot()                # protects every page: no alloc
+    assert not ram.materialized
+
+    base = arty_soc.memory_map.get("main_ram").base
+    bus.write32(base + 8, 0x12345678)    # first touch materialises
+    assert ram.materialized
+    assert bus.read32(base + 8) == 0x12345678
+
+    bus.restore(snap)                    # pre-image of a lazy page: zeros
+    assert bus.read32(base + 8) == 0
+
+
 def test_flash_is_read_only_on_bus(fomu_soc):
     bus = fomu_soc.bus()
     flash_base = fomu_soc.memory_map.get("flash").base
