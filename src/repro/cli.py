@@ -137,6 +137,47 @@ def _dse_via_service(args):
     return 0
 
 
+def _cmd_dse_exhaustive(args):
+    from .dse import CFU_FAMILIES, search_regret, sweep
+
+    families = tuple(args.families.split(",")) if args.families \
+        else CFU_FAMILIES
+    result = sweep(families=families)
+    print(result.summary())
+    if args.store_dir:
+        from .dse import DseService, run_exhaustive_service
+        from .dse.exhaustive import DEFAULT_CHUNK
+
+        service = DseService(store_dir=args.store_dir)
+        _, studies = run_exhaustive_service(
+            service, sweeper=result.sweeper, families=families,
+            chunk=args.chunk or DEFAULT_CHUNK)
+        for study in studies:
+            status = study.status()
+            print(f"recorded {study.study_id}: {status['state']} "
+                  f"{status['completed']}/{status['budget']} trials")
+    if args.regret_trials:
+        from .dse import run_fig7
+
+        search = run_fig7(trials_per_family=args.regret_trials,
+                          seed=args.seed)
+        print()
+        for family in families:
+            exact = result.front_metrics(family)
+            found = [(p.cycles, p.logic_cells)
+                     for p in search.family_front(family)]
+            regret = search_regret(exact, found)
+            print(f"{family}: RegularizedEvolution@{args.regret_trials} "
+                  f"hypervolume regret {regret:.4f} "
+                  f"(front {len(found)} vs exact {len(exact)})")
+    print()
+    for family in families:
+        print(f"exact {family} front (cycles, logic_cells):")
+        for point in result.front_points(family):
+            print(f"  {point.cycles:>16,.1f}  {point.logic_cells:>6,}")
+    return 0
+
+
 def _cmd_dse_serve(args):
     from .dse import DseService, serve
 
@@ -318,6 +359,26 @@ def build_parser():
     dse.set_defaults(func=_cmd_dse)
 
     dse_sub = dse.add_subparsers(dest="dse_command")
+    dse_exhaustive = dse_sub.add_parser(
+        "exhaustive",
+        help="tensorized whole-space sweep: exact Fig. 7 Pareto fronts")
+    dse_exhaustive.add_argument(
+        "--families", default=None,
+        help="comma-separated CFU families (default: all three)")
+    dse_exhaustive.add_argument(
+        "--store-dir", default=None,
+        help="also stream the sweep through a study service store "
+             "at this path (resumable, queryable)")
+    dse_exhaustive.add_argument("--chunk", type=_positive_int, default=None,
+                                help="trials per completion batch when "
+                                     "streaming to a store")
+    dse_exhaustive.add_argument(
+        "--regret-trials", type=int, default=0,
+        help="also run RegularizedEvolution with this budget per family "
+             "and report its hypervolume regret vs the exact front")
+    dse_exhaustive.add_argument("--seed", type=int, default=0,
+                                help="seed for the --regret-trials search")
+    dse_exhaustive.set_defaults(func=_cmd_dse_exhaustive)
     dse_serve = dse_sub.add_parser(
         "serve", help="serve the study/trial HTTP API (crash-safe, "
                       "resumable studies)")

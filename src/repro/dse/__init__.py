@@ -1,7 +1,18 @@
 """Design-space exploration: the Open Source Vizier stand-in."""
 
-from .algorithms import RandomSearch, RegularizedEvolution, TpeLite
+from .algorithms import GridSearch, RandomSearch, RegularizedEvolution, TpeLite
 from .cache import CACHE_SCHEMA_VERSION, MISS, EvaluationCache, cache_key
+from .exhaustive import (
+    ExhaustiveResult,
+    ExhaustiveSweeper,
+    FamilyPlane,
+    GridTensors,
+    VectorizedFit,
+    pareto_front_indices,
+    run_exhaustive_service,
+    search_regret,
+    sweep,
+)
 from .pareto import dominates, hypervolume_2d, pareto_front
 from .pool import MultiprocessingBackend, SerialBackend, WorkerPool, WorkerPoolError
 from .runner import (
@@ -46,15 +57,18 @@ __all__ = [
     "CACHE_SCHEMA_VERSION", "CACHE_SIZES", "CFU_FAMILIES", "ClientError",
     "DEFAULT_BATCH", "DEFAULT_LEASE_SECONDS", "DseHttpServer", "DsePoint",
     "DseResult", "DseService", "EvalOutcome", "EvaluationCache",
-    "FaultInjector", "Fig7Evaluator", "MAXIMIZE", "MINIMIZE", "MISS",
-    "MetricGoal", "MultiprocessingBackend", "Parameter", "ParameterSpace",
-    "RandomSearch", "RegularizedEvolution", "STORE_SCHEMA_VERSION",
+    "ExhaustiveResult", "ExhaustiveSweeper", "FamilyPlane", "FaultInjector",
+    "Fig7Evaluator", "GridSearch", "GridTensors", "MAXIMIZE", "MINIMIZE",
+    "MISS", "MetricGoal", "MultiprocessingBackend", "Parameter",
+    "ParameterSpace", "RandomSearch", "RegularizedEvolution",
+    "STORE_SCHEMA_VERSION", "VectorizedFit",
     "SerialBackend", "ServiceClient", "ServiceError", "ServiceStudy",
     "ServiceThread", "ServiceUnavailable", "StaleLeaseError", "Study",
     "StudyClient", "StudyStore", "TpeLite", "Trial", "TrialRecord",
     "VizierError", "VizierService", "WorkerFleet", "WorkerPool",
     "WorkerPoolError", "cache_key", "create_fig7_studies", "dominates",
     "evaluate_design", "fetch_result", "hypervolume_2d", "pareto_front",
-    "point_to_cpu_config", "run_fig7", "run_fig7_service", "run_worker",
-    "serve", "total_space_size", "vexriscv_space", "wait_for_studies",
+    "pareto_front_indices", "point_to_cpu_config", "run_exhaustive_service",
+    "run_fig7", "run_fig7_service", "run_worker", "search_regret", "serve",
+    "sweep", "total_space_size", "vexriscv_space", "wait_for_studies",
 ]

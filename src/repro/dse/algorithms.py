@@ -1,6 +1,6 @@
 """Suggestion algorithms for the Vizier stand-in.
 
-Three algorithms with the same ``propose(study)`` interface:
+Four algorithms with the same ``propose(study)`` interface:
 
 - :class:`RandomSearch` — the baseline Vizier offers.
 - :class:`RegularizedEvolution` — tournament-select a parent from the
@@ -9,6 +9,9 @@ Three algorithms with the same ``propose(study)`` interface:
 - :class:`TpeLite` — a lightweight tree-structured Parzen estimator:
   categorical densities fitted over the elite/rest split, proposals
   sampled from the elite density.
+- :class:`GridSearch` — deterministic exhaustive enumeration in
+  ``ParameterSpace.grid()`` order, the suggestion side of the
+  tensorized whole-space sweep (:mod:`repro.dse.exhaustive`).
 """
 
 from __future__ import annotations
@@ -38,6 +41,30 @@ class RandomSearch(SuggestionAlgorithm):
 
     def propose(self, study):
         return study.space.sample(study.rng)
+
+
+class GridSearch(SuggestionAlgorithm):
+    """Exhaustive enumeration of the space in ``grid()`` order.
+
+    Proposal ``k`` (0-based) is exactly the ``k``-th point of
+    ``space.grid()`` — a stable, seed-independent order, so the flat
+    grid index of a trial is ``trial_id - 1``.  This is what lets the
+    vectorized sweep stream precomputed whole-space results through the
+    service's trial store: suggestions are positional, never adaptive.
+    Replaying a persisted study re-enumerates from the start and
+    reproduces every suggestion verbatim.
+    """
+
+    def bind(self, study):
+        self._points = study.space.grid()
+
+    def propose(self, study):
+        try:
+            return next(self._points)
+        except StopIteration:
+            raise ValueError(
+                f"grid exhausted: study {study.name!r} budget exceeds "
+                f"the space size {study.space.size()}") from None
 
 
 class RegularizedEvolution(SuggestionAlgorithm):

@@ -181,11 +181,6 @@ def evaluate_design(model, board, parameters, family):
     Pure function of its arguments — safe to run in worker processes.
     """
     cpu = point_to_cpu_config(parameters)
-    if cpu.multiplier == "none":
-        # TFLM int8 kernels fundamentally need multiplication; a
-        # mul-less CPU falls back to software emulation (modeled),
-        # but a CFU-equipped design still requires it for addressing.
-        pass
     extras, cfu_resources = family_extras(family)
     soc = Soc(board, cpu)
     fit_result = fit(board, soc.resources(), cfu_resources)

@@ -49,7 +49,7 @@ import threading
 import time
 
 from ..core.metrics import MetricsRegistry
-from .algorithms import RandomSearch, RegularizedEvolution, TpeLite
+from .algorithms import GridSearch, RandomSearch, RegularizedEvolution, TpeLite
 from .pareto import pareto_front
 from .runner import DEFAULT_BATCH
 from .space import Parameter, ParameterSpace, vexriscv_space
@@ -73,6 +73,10 @@ ALGORITHMS = {
     "random": RandomSearch,
     "regularized_evolution": RegularizedEvolution,
     "tpe": TpeLite,
+    # Deterministic whole-space enumeration: suggestion k is grid point
+    # k, so the tensorized sweep can stream precomputed results through
+    # the trial store in chunks (see repro.dse.exhaustive).
+    "exhaustive": GridSearch,
 }
 
 
@@ -300,6 +304,44 @@ class ServiceStudy:
     def complete(self, trial_id, lease_token, metrics=None, infeasible=False,
                  cache_hit=False, seconds=0.0, worker_id=""):
         """Apply one completion; idempotent per lease, stale-safe."""
+        result = self._complete_one(trial_id, lease_token, metrics=metrics,
+                                    infeasible=infeasible, cache_hit=cache_hit,
+                                    seconds=seconds, worker_id=worker_id)
+        self._finalize_completions()
+        return result
+
+    def complete_batch(self, completions):
+        """Apply many completions; the front is published once at the end.
+
+        Each item is ``{"trial_id", "lease_token", "metrics"?,
+        "infeasible"?, "cache_hit"?, "seconds"?, "worker_id"?}``.  Items
+        are independent: a stale or unknown lease yields a per-item
+        ``{"ok": False, ...}`` entry instead of failing the batch.  This
+        is the streaming path of the exhaustive sweep — completing a
+        whole chunk per front recomputation instead of paying an
+        O(completed) front scan per trial.
+        """
+        results = []
+        for item in completions:
+            try:
+                results.append(self._complete_one(
+                    int(item["trial_id"]),
+                    str(item.get("lease_token", "")),
+                    metrics=item.get("metrics"),
+                    infeasible=bool(item.get("infeasible", False)),
+                    cache_hit=bool(item.get("cache_hit", False)),
+                    seconds=float(item.get("seconds", 0.0)),
+                    worker_id=str(item.get("worker_id", "")),
+                ))
+            except ServiceError as error:
+                results.append({"ok": False, "error": str(error),
+                                "status": error.status})
+        self._finalize_completions()
+        return results
+
+    def _complete_one(self, trial_id, lease_token, metrics=None,
+                      infeasible=False, cache_hit=False, seconds=0.0,
+                      worker_id=""):
         record = self.records.get(trial_id)
         if record is None:
             raise ServiceError(f"no trial {trial_id} in {self.resource_name}",
@@ -336,6 +378,10 @@ class ServiceStudy:
         self.service.metrics.histogram(
             "dse_trial_seconds", buckets=TRIAL_SECONDS_BUCKETS,
             study=self.study_id).observe(record.seconds)
+        return {"ok": True, "duplicate": False}
+
+    def _finalize_completions(self):
+        """Front publication + done-check, once per completion batch."""
         if self._started_mono is not None:
             self._elapsed = time.monotonic() - self._started_mono
         self._publish_front()
@@ -343,7 +389,6 @@ class ServiceStudy:
                 and self.completed_count() >= self.budget):
             self._set_state(DONE)
         self._export_gauges()
-        return {"ok": True, "duplicate": False}
 
     def _apply_to_study(self, record):
         trial = self.study.trials[record.trial_id - 1]
@@ -755,6 +800,8 @@ class DseHttpServer:
             if method == "POST" and tail == ["stop"]:
                 return "stop", lambda p, b: (
                     200, service.stop_study(owner, study_id).status())
+            if method == "POST" and tail == ["trials", "complete-batch"]:
+                return "complete-batch", self._complete_batch
             if (method == "POST" and len(tail) == 3 and tail[0] == "trials"
                     and tail[2] == "complete"):
                 return "complete", self._complete
@@ -795,6 +842,11 @@ class DseHttpServer:
         )
         result["state"] = study.state
         return 200, result
+
+    def _complete_batch(self, parts, payload):
+        study = self.service.get_study(parts[1], parts[2])
+        results = study.complete_batch(payload.get("completions", []))
+        return 200, {"results": results, "state": study.state}
 
     def _trials(self, parts, payload):
         study = self.service.get_study(parts[1], parts[2])

@@ -8,6 +8,7 @@ bypassing, error checking) crossed with the CFU choice — approximately
 
 from __future__ import annotations
 
+import itertools
 import random
 from dataclasses import dataclass
 
@@ -71,16 +72,16 @@ class ParameterSpace:
         return child
 
     def grid(self):
-        """Exhaustive iteration (only sane for small spaces)."""
-        def rec(index, point):
-            if index == len(self.parameters):
-                yield dict(point)
-                return
-            parameter = self.parameters[index]
-            for value in parameter.values:
-                point[parameter.name] = value
-                yield from rec(index + 1, point)
-        yield from rec(0, {})
+        """Lazy exhaustive iteration, last parameter varying fastest.
+
+        The order is a stable part of the contract: the tensorized
+        sweep (:mod:`repro.dse.exhaustive`) maps flat C-order indices
+        to points assuming exactly this enumeration, and the service's
+        ``exhaustive`` algorithm replays suggestions positionally.
+        """
+        names = [p.name for p in self.parameters]
+        for values in itertools.product(*(p.values for p in self.parameters)):
+            yield dict(zip(names, values))
 
     def validate(self, point):
         for parameter in self.parameters:

@@ -186,6 +186,20 @@ class ServiceClient:
             "seconds": seconds,
         })
 
+    def complete_batch(self, owner, study_id, completions):
+        """Apply many completions in one request (one persist/front pass).
+
+        Each item is ``{"trial_id", "lease_token", "metrics"?,
+        "infeasible"?, "cache_hit"?, "seconds"?}``; per-item results come
+        back positionally so one stale lease doesn't fail the batch.
+        """
+        items = [{**item, "worker_id": item.get("worker_id",
+                                                self.worker_id)}
+                 for item in completions]
+        return self.request(
+            "POST", f"/studies/{owner}/{study_id}/trials/complete-batch",
+            {"completions": items})
+
     def trials(self, owner, study_id):
         return self.request("GET", f"/studies/{owner}/{study_id}/trials")
 

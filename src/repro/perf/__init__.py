@@ -2,7 +2,13 @@
 the whole-model estimator, and the Cortex-M4/CMSIS-NN comparator."""
 
 from .cache import Cache, expected_miss_rate
-from .cost import CostBreakdown, CostContext, SystemConfig
+from .cost import (
+    CaptureCosts,
+    CostBreakdown,
+    CostContext,
+    CostSnapshot,
+    SystemConfig,
+)
 from .energy import (
     ENERGY_PER_EVENT_NJ,
     EnergyBreakdown,
@@ -26,9 +32,11 @@ from .memories import (
     MemoryRegion,
     MemoryTech,
 )
+from .vectorized import COST_AXES, BatchCostModel
 
 __all__ = [
-    "BLOCK_RAM", "Cache", "CostBreakdown", "CostContext", "DDR3",
+    "BLOCK_RAM", "BatchCostModel", "COST_AXES", "Cache", "CaptureCosts",
+    "CostBreakdown", "CostContext", "CostSnapshot", "DDR3",
     "ENERGY_PER_EVENT_NJ", "EnergyBreakdown", "EnergyModel",
     "FrameworkOverhead", "InferenceEstimate", "MemoryMap", "MemoryRegion",
     "MemoryTech", "ON_CHIP_SRAM", "OpCost", "QSPI_FLASH", "SPI_FLASH",

@@ -18,6 +18,7 @@ fall out of the model mechanistically.
 
 from __future__ import annotations
 
+import contextvars
 from dataclasses import dataclass
 
 from ..cpu.timing import ITERATIVE_DIV_CYCLES, ITERATIVE_MUL_CYCLES, SOFT_DIV_CYCLES
@@ -80,6 +81,63 @@ class CostBreakdown:
             self.fetch + other.fetch, self.cfu + other.cfu,
             self.control + other.control,
         )
+
+
+@dataclass(frozen=True)
+class CostSnapshot:
+    """Immutable record of one finished :class:`CostContext`.
+
+    ``finish()`` publishes one of these to the innermost active
+    :class:`CaptureCosts` scope, which is how the estimator recovers the
+    per-category split, the primitive trace, and the fetch-model inputs
+    without changing the variant ``cycles()`` protocol.
+    """
+
+    breakdown: CostBreakdown
+    instructions: float
+    trace: tuple
+    code_section: str
+    loop_footprint_bytes: int
+
+
+#: Innermost active capture scope.  A ``ContextVar`` (not a class/global
+#: attribute) so concurrent estimates — asyncio tasks in the DSE/session
+#: servers, worker threads — each see only their own finished contexts.
+_ACTIVE_CAPTURE = contextvars.ContextVar("repro_cost_capture", default=None)
+
+
+class CaptureCosts:
+    """Context manager collecting every ``CostContext.finish()`` in scope.
+
+    Usage::
+
+        with CaptureCosts() as capture:
+            cycles = variant.cycles(op, model, system)
+        snapshot = capture.last   # CostSnapshot or None
+
+    Scopes nest: an estimate running *inside* another capture scope (for
+    example a nested ``estimate_inference`` call, or an interleaved
+    request on another asyncio task) records into its own scope and never
+    contaminates the outer one.
+    """
+
+    def __init__(self):
+        self.snapshots = []
+        self._token = None
+
+    def __enter__(self):
+        self._token = _ACTIVE_CAPTURE.set(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        _ACTIVE_CAPTURE.reset(self._token)
+        self._token = None
+        return False
+
+    @property
+    def last(self):
+        """The most recent snapshot in this scope, or None."""
+        return self.snapshots[-1] if self.snapshots else None
 
 
 class CostContext:
@@ -234,15 +292,6 @@ class CostContext:
         self.trace.append(("cfu_busy", cycles))
         self.breakdown.cfu += cycles
 
-    #: Snapshot of the most recently finished context (single-threaded
-    #: estimation hook: the estimator reads these right after calling a
-    #: variant's ``cycles()`` so the profiler and energy model see the
-    #: per-category split without changing the variant protocol).
-    last_breakdown = None
-    last_instructions = 0.0
-    last_trace = ()
-    last_code_section = "kernel_text"
-
     # --- finalization ------------------------------------------------------------
     def finish(self, loop_footprint_bytes=256):
         """Charge instruction-fetch stalls and return total cycles."""
@@ -262,10 +311,15 @@ class CostContext:
         else:
             per_instr = region.tech.first_word_latency - 1
         self.breakdown.fetch += self.instructions * per_instr
-        CostContext.last_breakdown = self.breakdown
-        CostContext.last_instructions = self.instructions
-        CostContext.last_trace = tuple(self.trace)
-        CostContext.last_code_section = self.code_section
+        capture = _ACTIVE_CAPTURE.get()
+        if capture is not None:
+            capture.snapshots.append(CostSnapshot(
+                breakdown=self.breakdown,
+                instructions=self.instructions,
+                trace=tuple(self.trace),
+                code_section=self.code_section,
+                loop_footprint_bytes=loop_footprint_bytes,
+            ))
         return self.breakdown.total
 
     @property

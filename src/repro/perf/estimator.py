@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from .cost import CostContext
+from .cost import CaptureCosts, CostContext
 
 
 @dataclass
@@ -24,6 +24,7 @@ class OpCost:
     instructions: float = 0.0
     trace: tuple = ()             # CostContext primitive-call trace
     code_section: str = "kernel_text"
+    loop_footprint_bytes: int = 256  # fetch-model footprint passed to finish()
 
     @property
     def cycles_per_mac(self):
@@ -40,6 +41,8 @@ class InferenceEstimate:
     overhead_cycles: float = 0.0
     overhead_trace: tuple = ()
     overhead_instructions: float = 0.0
+    overhead_code_section: str = "text"
+    overhead_loop_footprint_bytes: int = 48 * 1024
 
     @property
     def total_cycles(self):
@@ -141,19 +144,27 @@ def estimate_inference(model, system, variants=None, overhead=None,
         variant = variants.select(op, model)
         if variant is None:
             raise KeyError(f"no variant for {op.opcode}")
-        cycles = variant.cycles(op, model, system)
+        with CaptureCosts() as capture:
+            cycles = variant.cycles(op, model, system)
+        snap = capture.last
         estimate.op_costs.append(OpCost(
             op_name=op.name, opcode=op.opcode, variant=variant.name,
             cycles=cycles, macs=op.macs,
-            breakdown=CostContext.last_breakdown,
-            instructions=CostContext.last_instructions,
-            trace=CostContext.last_trace,
-            code_section=CostContext.last_code_section,
+            breakdown=snap.breakdown if snap else None,
+            instructions=snap.instructions if snap else 0.0,
+            trace=snap.trace if snap else (),
+            code_section=snap.code_section if snap else "kernel_text",
+            loop_footprint_bytes=snap.loop_footprint_bytes if snap else 256,
         ))
         if op.opcode == "CONV_2D" and op.params.get("kernel") == (1, 1):
             names_1x1.add(op.name)
-    estimate.overhead_cycles = overhead.cycles(model, system)
-    estimate.overhead_trace = CostContext.last_trace
-    estimate.overhead_instructions = CostContext.last_instructions
+    with CaptureCosts() as capture:
+        estimate.overhead_cycles = overhead.cycles(model, system)
+    snap = capture.last
+    estimate.overhead_trace = snap.trace if snap else ()
+    estimate.overhead_instructions = snap.instructions if snap else 0.0
+    estimate.overhead_code_section = snap.code_section if snap else "text"
+    estimate.overhead_loop_footprint_bytes = (
+        snap.loop_footprint_bytes if snap else 48 * 1024)
     estimate._names_1x1 = frozenset(names_1x1)
     return estimate

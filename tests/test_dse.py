@@ -160,6 +160,35 @@ def test_grid_enumerates_small_space():
     assert len(list(space.grid())) == 6
 
 
+def test_grid_is_lazy_and_order_stable():
+    """grid() is a generator in C order (last parameter fastest).
+
+    The order is load-bearing: the tensorized exhaustive sweep and the
+    service's positional grid replay both map flat index k to the k-th
+    yielded point.
+    """
+    import itertools
+
+    space = ParameterSpace([
+        Parameter("a", (1, 2, 3)),
+        Parameter("b", ("x", "y")),
+        Parameter("c", (False, True)),
+    ])
+    first = space.grid()
+    assert iter(first) is first  # a generator, not a materialized list
+    assert next(first) == {"a": 1, "b": "x", "c": False}
+    expected = [dict(zip(("a", "b", "c"), combo))
+                for combo in itertools.product((1, 2, 3), ("x", "y"),
+                                               (False, True))]
+    assert list(space.grid()) == expected
+    assert list(space.grid()) == expected  # each call restarts
+
+    full = vexriscv_space()
+    head = list(itertools.islice(full.grid(), 3))
+    assert head[0]["dcache_bytes"] == 0 and head[1]["dcache_bytes"] == 0
+    assert [p["icache_ways"] for p in head] == [1, 2, 1]  # last knob fastest
+
+
 def test_validate_rejects_bad_point():
     space = vexriscv_space()
     with pytest.raises(ValueError):

@@ -126,6 +126,47 @@ def test_suggest_complete_to_done_and_pareto(server, client):
                for t in trials)
 
 
+def test_complete_batch_round_trip(server, client):
+    """The complete-batch route applies many completions in one POST."""
+    client.create_study(tiny_config(budget=8, batch=4,
+                                    algorithm="exhaustive"))
+    trials = client.suggest("tests", "tiny", count=4)["trials"]
+    assert len(trials) == 4
+    completions = [{"trial_id": t["trial_id"],
+                    "lease_token": t["lease_token"],
+                    "metrics": tiny_metrics(t["parameters"])}
+                   for t in trials[:3]]
+    completions.append({"trial_id": trials[3]["trial_id"],
+                        "lease_token": "stale#0", "infeasible": True})
+    response = client.complete_batch("tests", "tiny", completions)
+    results = response["results"]
+    assert [r["ok"] for r in results] == [True, True, True, False]
+    assert results[3]["status"] == 409
+    assert client.study_status("tests", "tiny")["completed"] == 3
+
+
+def test_exhaustive_algorithm_over_the_wire(server, client):
+    """A grid study suggests every point exactly once, in grid order."""
+    client.create_study(tiny_config(budget=16, batch=8,
+                                    algorithm="exhaustive",
+                                    max_inflight=8))
+    seen = []
+    while True:
+        response = client.suggest("tests", "tiny", count=8)
+        if response["done"]:
+            break
+        if not response["trials"]:
+            continue
+        for trial in response["trials"]:
+            seen.append((trial["trial_id"], dict(trial["parameters"])))
+        client.complete_batch("tests", "tiny", [
+            {"trial_id": t["trial_id"], "lease_token": t["lease_token"],
+             "metrics": tiny_metrics(t["parameters"])}
+            for t in response["trials"]])
+    expected = [{"x": x, "y": y} for x in [0, 1, 2, 3] for y in [0, 1, 2, 3]]
+    assert [p for _, p in sorted(seen)] == expected
+
+
 def test_barrier_suggests_in_fixed_rounds(server, client):
     client.create_study(tiny_config(budget=10, batch=4))
     first = client.suggest("tests", "tiny", count=10)["trials"]

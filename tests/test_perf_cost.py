@@ -169,3 +169,81 @@ def test_breakdown_totals():
              + ctx.breakdown.control + ctx.breakdown.cfu
              + ctx.breakdown.fetch)
     assert total == pytest.approx(parts)
+
+
+def test_capture_is_context_local():
+    """finish() publishes a snapshot only to the innermost active capture."""
+    from repro.perf.cost import CaptureCosts
+
+    system = make_system(VexRiscvConfig())
+    with CaptureCosts() as outer:
+        ctx = CostContext(system, code_section="text")
+        ctx.alu(10)
+        ctx.finish()
+        with CaptureCosts() as inner:
+            ctx2 = CostContext(system, code_section="kernel_text")
+            ctx2.alu(20)
+            ctx2.finish()
+        ctx3 = CostContext(system, code_section="text")
+        ctx3.alu(30)
+        ctx3.finish()
+    assert [s.code_section for s in outer.snapshots] == ["text", "text"]
+    assert [s.trace for s in outer.snapshots] == \
+        [(("alu", 10),), (("alu", 30),)]
+    assert inner.snapshots[0].code_section == "kernel_text"
+    assert inner.snapshots[0].trace == (("alu", 20),)
+    # no capture active outside the blocks: finish() records nowhere
+    ctx4 = CostContext(system)
+    ctx4.finish()
+    assert len(outer.snapshots) == 2 and len(inner.snapshots) == 1
+
+
+def test_capture_last_and_empty():
+    from repro.perf.cost import CaptureCosts
+
+    with CaptureCosts() as capture:
+        assert capture.last is None
+        ctx = CostContext(make_system(VexRiscvConfig()))
+        ctx.alu(5)
+        ctx.finish()
+        assert capture.last.breakdown.compute == pytest.approx(5)
+
+
+def test_interleaved_estimates_do_not_cross_pollute():
+    """Two estimate_inference runs interleaved across threads produce the
+    same OpCost tapes as when run serially — the regression the old
+    class-global ``CostContext.last_*`` capture could not guarantee."""
+    import threading
+
+    from repro.models import load
+    from repro.perf.estimator import estimate_inference
+
+    model_a = load("dscnn_kws")
+    model_b = load("mobilenet_v2", width_multiplier=0.25, num_classes=10)
+    system = make_system(VexRiscvConfig())
+
+    serial = {name: estimate_inference(model, system)
+              for name, model in (("a", model_a), ("b", model_b))}
+
+    threaded = {}
+    barrier = threading.Barrier(2)
+
+    def run(name, model):
+        barrier.wait()
+        threaded[name] = estimate_inference(model, system)
+
+    threads = [threading.Thread(target=run, args=args)
+               for args in (("a", model_a), ("b", model_b))]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    for name in ("a", "b"):
+        expect, got = serial[name], threaded[name]
+        assert got.total_cycles == expect.total_cycles
+        assert [c.trace for c in got.op_costs] == \
+            [c.trace for c in expect.op_costs]
+        assert [c.code_section for c in got.op_costs] == \
+            [c.code_section for c in expect.op_costs]
+        assert got.overhead_trace == expect.overhead_trace
