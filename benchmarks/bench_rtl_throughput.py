@@ -9,9 +9,16 @@ cycle counts per workload — land in ``BENCH_rtl.json`` at the repo root,
 alongside ``BENCH_sim.json``, extending the machine-readable perf
 trajectory to the RTL layer.
 
+The winograd ladder test additionally records the modeled cycle
+reduction of the Winograd kernel pair over the software reference
+kernels on the MNV2 ladder workloads, in a ``winograd`` section of the
+same file.  Both tests merge-preserve sections owned by the other (the
+``bench_dse_service.py`` convention for BENCH_dse.json).
+
 Knobs:
-- ``REPRO_RTL_BENCH_OPS``     ops per CFU workload (default 400)
-- ``REPRO_RTL_SPEEDUP_MIN``   headline threshold (default 5.0)
+- ``REPRO_RTL_BENCH_OPS``        ops per CFU workload (default 400)
+- ``REPRO_RTL_SPEEDUP_MIN``      headline threshold (default 5.0)
+- ``REPRO_WINOGRAD_SPEEDUP_MIN`` ladder cycle-reduction bar (default 5.0)
 """
 
 import json
@@ -19,15 +26,35 @@ import os
 import random
 import time
 
-from repro.accel import Cfu1Rtl, KwsCfu2Rtl, Mac4Rtl, PostprocRtl
+from repro.accel import Cfu1Rtl, KwsCfu2Rtl, Mac4Rtl, PostprocRtl, WinogradRtl
 from repro.accel.kws import model as km
 from repro.accel.mnv2 import model as cm
+from repro.accel.winograd import model as wm
+from repro.boards import ARTY_A7_35T
 from repro.cfu import RtlCfuAdapter
+from repro.cpu.vexriscv import VexRiscvConfig
+from repro.kernels import winograd_variants
+from repro.kernels.reference import reference_variants
+from repro.models import load
 from repro.rtl import compile_module
+from repro.soc import Soc
 
 OPS = int(os.environ.get("REPRO_RTL_BENCH_OPS", "400"))
 SPEEDUP_MIN = float(os.environ.get("REPRO_RTL_SPEEDUP_MIN", "5.0"))
+WINOGRAD_MIN = float(os.environ.get("REPRO_WINOGRAD_SPEEDUP_MIN", "5.0"))
 BENCH_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_rtl.json")
+
+
+def _merge_preserve(payload):
+    """Keep BENCH_rtl.json sections owned by other benchmark tests."""
+    if os.path.exists(BENCH_PATH):
+        with open(BENCH_PATH) as handle:
+            previous = json.load(handle)
+        for key, value in previous.items():
+            payload.setdefault(key, value)
+    with open(BENCH_PATH, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
 
 
 def kws_sequence(rng, count):
@@ -91,6 +118,39 @@ def cfu1_sequence(rng, count):
     return seq
 
 
+def winograd_sequence(rng, count):
+    """Config + transformed-filter uploads, then a mix of DW tile runs
+    and multi-cycle PW dot-product runs — the full Winograd dataflow."""
+    depth = 2
+    seq = [(wm.F3_CONFIG, wm.CFG_RESET, 0, 0),
+           (wm.F3_CONFIG, wm.CFG_DEPTH, depth, 0)]
+    for _ in range(4):
+        seq.append((wm.F3_CONFIG, wm.CFG_BIAS,
+                    rng.randrange(-1000, 1000) & 0xFFFFFFFF, 0))
+        seq.append((wm.F3_CONFIG, wm.CFG_MULT,
+                    rng.randrange(1 << 30, 1 << 31), 0))
+        seq.append((wm.F3_CONFIG, wm.CFG_SHIFT,
+                    -rng.randrange(0, 12) & 0xFFFFFFFF, 0))
+    seq.append((wm.F3_CONFIG, wm.CFG_OUTPUT, (-3) & 0xFFFFFFFF,
+                0x80 | (0x7F << 8)))
+    seq.append((wm.F3_WRITE_FILT, 1, rng.getrandbits(32), 0))
+    seq.append((wm.F3_WRITE_FILT, 0, rng.getrandbits(32), 0))
+    seq.append((wm.F3_WRITE_FILT, 0, rng.getrandbits(8), 0))
+    seq.append((wm.F3_WRITE_FILT, 3, rng.getrandbits(32), 0))
+    for _ in range(4 * depth - 1):
+        seq.append((wm.F3_WRITE_FILT, 2, rng.getrandbits(32), 0))
+    while len(seq) < count:
+        first = True
+        for _ in range(4):
+            seq.append((wm.F3_WRITE_INPUT, 1 if first else 0,
+                        rng.getrandbits(32), 0))
+            first = False
+        seq.append((wm.F3_RUN_DW, 0, 0, 0))
+        seq.append((wm.F3_CONFIG, wm.CFG_RESTART, 0, 0))
+        seq.append((wm.F3_RUN_PW, 0, 0, 0))
+    return seq[:count]
+
+
 WORKLOADS = [
     # (name, cfu factory, sequence builder)
     ("kws-cfu2", KwsCfu2Rtl, kws_sequence),
@@ -99,6 +159,9 @@ WORKLOADS = [
     ("mnv2-cfu1",
      lambda: Cfu1Rtl(channels=8, filter_words=64, input_words=16),
      cfu1_sequence),
+    ("winograd",
+     lambda: WinogradRtl(channels=4, pw_filter_words=16, input_words=16),
+     winograd_sequence),
 ]
 
 
@@ -168,9 +231,7 @@ def test_rtl_throughput(report):
             "passed": headline["speedup"] >= SPEEDUP_MIN,
         },
     }
-    with open(BENCH_PATH, "w") as handle:
-        json.dump(payload, handle, indent=2)
-        handle.write("\n")
+    _merge_preserve(payload)
 
     report(f"RTL simulation throughput (ops={OPS})")
     report(f"{'workload':<15} {'levels':>6} {'interp c/s':>11} "
@@ -190,3 +251,70 @@ def test_rtl_throughput(report):
     assert headline["speedup"] >= SPEEDUP_MIN, (
         f"compiled backend only {headline['speedup']}x on "
         f"{headline['workload']} (needs ≥{SPEEDUP_MIN}x)")
+
+
+def test_winograd_ladder(report):
+    """Modeled cycle reduction of the Winograd kernel pair over the
+    software reference kernels on the MNV2 ladder workloads."""
+    model = load("mobilenet_v2", width_multiplier=0.75, num_classes=100)
+    system = Soc(ARTY_A7_35T, VexRiscvConfig()).system_config()
+    reference = reference_variants()
+    accelerated = reference_variants().extended(*winograd_variants())
+
+    rows = []
+    for opcode, label in (("DEPTHWISE_CONV_2D", "depthwise-3x3"),
+                          ("CONV_2D", "pointwise-1x1")):
+        software = hardware = 0
+        layers = 0
+        for op in model.operators:
+            if op.opcode != opcode:
+                continue
+            variant = accelerated.select(op, model)
+            if variant is None or not variant.name.startswith("winograd"):
+                continue
+            software += reference.select(op, model).cycles(op, model, system)
+            hardware += variant.cycles(op, model, system)
+            layers += 1
+        rows.append({
+            "workload": label,
+            "layers": layers,
+            "software_cycles": round(software),
+            "winograd_cycles": round(hardware),
+            "speedup": round(software / hardware, 2),
+        })
+    worst = min(rows, key=lambda r: r["speedup"])
+    payload = {
+        "winograd": {
+            "generated_by": "benchmarks/bench_rtl_throughput.py",
+            "model": "mobilenet_v2 (width 0.75)",
+            "workloads": rows,
+            "headline": {
+                "description": ("min modeled cycle reduction of the Winograd "
+                                "CFU kernel pair over the software reference "
+                                "kernels on the MNV2 ladder workloads"),
+                "workload": worst["workload"],
+                "speedup": worst["speedup"],
+                "threshold": WINOGRAD_MIN,
+                "passed": worst["speedup"] >= WINOGRAD_MIN,
+            },
+        },
+    }
+    _merge_preserve(payload)
+
+    report("Winograd ladder: modeled cycles vs the software kernels (MNV2)")
+    report(f"{'workload':<15} {'layers':>6} {'software cyc':>14} "
+           f"{'winograd cyc':>14} {'speedup':>8}")
+    for r in rows:
+        report(f"{r['workload']:<15} {r['layers']:>6} "
+               f"{r['software_cycles']:>14,} {r['winograd_cycles']:>14,} "
+               f"{r['speedup']:>7.2f}x")
+    report(f"headline: {worst['workload']} {worst['speedup']:.2f}x "
+           f"(threshold {WINOGRAD_MIN}x)")
+    report(f"[BENCH_rtl.json winograd section written to "
+           f"{os.path.abspath(BENCH_PATH)}]")
+
+    for r in rows:
+        assert r["layers"] > 0, f"{r['workload']}: no qualifying layers"
+        assert r["speedup"] >= WINOGRAD_MIN, (
+            f"winograd only {r['speedup']}x on {r['workload']} "
+            f"(needs ≥{WINOGRAD_MIN}x)")

@@ -18,10 +18,12 @@ from .mnv2.model import Mnv2Cfu
 from .mnv2.resources import STAGES as MNV2_STAGES
 from .mnv2.resources import stage_resources
 from .mnv2.rtl import Cfu1Rtl, Mac4Rtl, PostprocRtl
+from .winograd import WinogradCfu, WinogradRtl, winograd_resources
 
 __all__ = [
     "ByteReverseCfu", "ByteReverseRtl", "Cfu1Rtl", "FftButterflyCfu",
     "FftButterflyRtl", "LIBRARY", "MinMaxCfu", "MinMaxRtl", "PopcountCfu",
     "PopcountRtl", "SimdAddCfu", "SimdAddRtl", "cfu3_resources", "KwsCfu", "KwsCfu2Rtl", "MNV2_STAGES", "Mac4Rtl",
     "Mnv2Cfu", "PostprocRtl", "stage_resources",
+    "WinogradCfu", "WinogradRtl", "winograd_resources",
 ]

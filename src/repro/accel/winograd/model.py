@@ -1,0 +1,347 @@
+"""Behavioural model of the Winograd F(2x2,3x3) CFU (Section III-A).
+
+A third speedup ladder next to CFU1 (MNV2) and CFU2 (KWS): the CFU
+computes 2x2 output tiles of a stride-1 3x3 depthwise convolution with
+the Winograd F(2x2,3x3) algorithm — 16 multiplies per tile instead of
+36 — and reuses its 4-lane requantization back end as a 4-pixel
+pointwise (1x1) dot-product engine.
+
+All arithmetic is exact integer.  The filter transform uses the doubled
+matrix ``G' = 2G`` (integer entries), so the transformed filter
+``U' = G' g G'^T`` equals ``4U`` exactly; the element-wise product and
+output transform then yield ``Y' = 4 * conv`` and a final arithmetic
+shift right by two recovers the convolution bit-exactly:
+
+    B^T = [[1, 0, -1,  0],      G' = [[2,  0, 0],     A^T = [[1, 1,  1,  0],
+           [0, 1,  1,  0],            [1,  1, 1],            [0, 1, -1, -1]]
+           [0,-1,  1,  0],            [1, -1, 1],
+           [0, 1,  0, -1]]            [0,  0, 2]]
+
+Bit bounds: |V| <= 512 (12-bit signed), |U'| <= 1143 (13-bit signed),
+|M| = |U' * V| <= 585216 (~21 bits), |Y'| fits well inside 24 bits.
+
+Opcode map (funct3, funct7):
+
+====  =========  =====================================================
+f3    f7         operation
+====  =========  =====================================================
+0     0          CFG_RESET: zero every register (stores persist)
+0     1/2/3      CFG_BIAS / CFG_MULT / CFG_SHIFT: channel-parameter
+                 streams sharing one write pointer (shift arrives
+                 last and advances it; stored negated, right-shift)
+0     4          CFG_OUTPUT: a = zero point, b = act_min | act_max<<8
+0     5          CFG_DEPTH: pointwise input words per pixel
+0     6          CFG_RESTART: channel = 0, pointwise filter ptr = 0
+0     7          CFG_CHANNEL: channel = a (depthwise channel select)
+1     bit1=0     depthwise filter word (3 words/filter, packed int8
+                 row-major; bit0=1 restarts the 3-word counter; the
+                 third word triggers the G'gG'^T transform on upload)
+1     bit1=1     pointwise filter word (bit0=1 resets the write ptr)
+2     bit0       input word (bit0=1 resets the write pointer); word i
+                 lands in bank i%4 — depthwise: the four tile rows;
+                 pointwise: four pixel lanes, depth words each
+3     -          RUN_DW: transform + 16 MACs + requantize a 2x2 tile
+                 at the current channel (packed y00|y01|y10|y11)
+4     -          RUN_PW: 4-pixel dot-product over `depth` words at the
+                 current channel; channel++ and filter ptr += depth
+5     0..4       STATE: channel / pw fptr / depth / dw filters / wptr
+====  =========  =====================================================
+"""
+
+from __future__ import annotations
+
+from ...cfu.interface import CfuError, CfuModel
+
+F3_CONFIG = 0
+F3_WRITE_FILT = 1
+F3_WRITE_INPUT = 2
+F3_RUN_DW = 3
+F3_RUN_PW = 4
+F3_STATE = 5
+
+CFG_RESET = 0
+CFG_BIAS = 1
+CFG_MULT = 2
+CFG_SHIFT = 3
+CFG_OUTPUT = 4
+CFG_DEPTH = 5
+CFG_RESTART = 6
+CFG_CHANNEL = 7
+
+# Sign-extension table for packed int8 lanes (index by raw byte).
+_SX = tuple((x ^ 0x80) - 0x80 for x in range(256))
+
+
+def transform_filter(g):
+    """``U' = G' g G'^T`` for a flat 9-element 3x3 filter (exact ints).
+
+    Returns the 16 transformed elements row-major; every element fits
+    a 13-bit signed field (|U'| <= 9 * 127 = 1143).
+    """
+    g00, g01, g02, g10, g11, g12, g20, g21, g22 = g
+    # T = G' g  (rows: 2*row0, row0+row1+row2, row0-row1+row2, 2*row2)
+    t = (
+        (2 * g00, 2 * g01, 2 * g02),
+        (g00 + g10 + g20, g01 + g11 + g21, g02 + g12 + g22),
+        (g00 - g10 + g20, g01 - g11 + g21, g02 - g12 + g22),
+        (2 * g20, 2 * g21, 2 * g22),
+    )
+    # U' = T G'^T  (same pattern on the columns)
+    u = []
+    for t0, t1, t2 in t:
+        u.extend((2 * t0, t0 + t1 + t2, t0 - t1 + t2, 2 * t2))
+    return tuple(u)
+
+
+class WinogradCfu(CfuModel):
+    """Ideal-behaviour Winograd CFU, sized like the gateware it models.
+
+    Stores are fixed-size and pointer-addressed exactly as in
+    :class:`~repro.accel.winograd.rtl.WinogradRtl`, so golden random
+    sequences stay bit-identical even when they wrap a pointer.
+    """
+
+    name = "winograd"
+
+    def __init__(self, channels=64, pw_filter_words=256, input_words=64):
+        # The gateware wraps pointers by address truncation; the model
+        # wraps by modulo.  Power-of-two sizes make the two identical.
+        for label, value in (("channels", channels),
+                             ("pw_filter_words", pw_filter_words),
+                             ("input_words", input_words)):
+            if value <= 0 or value & (value - 1):
+                raise ValueError(f"{label} must be a power of two")
+        self.channels = channels
+        self.pw_filter_words = pw_filter_words
+        self.input_words = input_words
+        self.reset()
+
+    def reset(self):
+        ch = self.channels
+        self.bias = [0] * ch
+        self.mult = [0] * ch
+        self.shift = [0] * ch          # stored as right-shift amounts
+        self.urows = [(0,) * 16] * ch  # transformed depthwise filters
+        self.pw_filter = [0] * self.pw_filter_words
+        self.inp = [0] * self.input_words
+        self._clear_registers()
+
+    def _clear_registers(self):
+        self.channel = 0
+        self.param_wptr = 0
+        self.dw_wchan = 0
+        self.dw_count = 0              # 3-word upload counter (0..2)
+        self.dw_w0 = 0
+        self.dw_w1 = 0
+        self.pw_fptr = 0
+        self.pw_wptr = 0
+        self.in_wptr = 0
+        self.depth = 1
+        self.zero_point = 0
+        self.act_min = -128
+        self.act_max = 127
+
+    # --- scalar requantization, mirroring accel.common.requantize_expr ---------
+
+    def _requantize(self, acc, channel):
+        index = channel % self.channels
+        acc += self.bias[index]
+        product = acc * self.mult[index]
+        nudge = (1 << 30) if product >= 0 else 1 - (1 << 30)
+        high = (product + nudge) >> 31
+        rshift = self.shift[index]
+        mask = (1 << rshift) - 1
+        remainder = high & mask
+        threshold = (mask >> 1) + (1 if high < 0 else 0)
+        out = (high >> rshift) + (1 if remainder > threshold else 0)
+        out += self.zero_point
+        if out < self.act_min:
+            out = self.act_min
+        if out > self.act_max:
+            out = self.act_max
+        return out & 0xFF
+
+    # --- operations -------------------------------------------------------------
+
+    def op(self, funct3, funct7, a, b):
+        if funct3 == F3_CONFIG:
+            return self._config(funct7, a, b)
+        if funct3 == F3_WRITE_FILT:
+            return self._write_filter(funct7, a)
+        if funct3 == F3_WRITE_INPUT:
+            return self._write_input(funct7, a)
+        if funct3 == F3_RUN_DW:
+            return self._run_depthwise()
+        if funct3 == F3_RUN_PW:
+            return self._run_pointwise()
+        if funct3 == F3_STATE:
+            return self._state(funct7)
+        raise CfuError(f"winograd: no operation funct3={funct3}")
+
+    def _config(self, funct7, a, b):
+        if funct7 == CFG_RESET:
+            self._clear_registers()
+        elif funct7 == CFG_BIAS:
+            self.bias[self.param_wptr] = _s32(a)
+        elif funct7 == CFG_MULT:
+            self.mult[self.param_wptr] = _s32(a)
+        elif funct7 == CFG_SHIFT:
+            if _s32(a) > 0:
+                raise CfuError("winograd: left shifts unsupported")
+            self.shift[self.param_wptr] = (-_s32(a)) & 0x1F
+            self.param_wptr = (self.param_wptr + 1) % self.channels
+        elif funct7 == CFG_OUTPUT:
+            self.zero_point = _s16(a)
+            self.act_min = _SX[b & 0xFF]
+            self.act_max = _SX[(b >> 8) & 0xFF]
+        elif funct7 == CFG_DEPTH:
+            self.depth = (a & 0xFFF) or 1
+        elif funct7 == CFG_RESTART:
+            self.channel = 0
+            self.pw_fptr = 0
+        elif funct7 == CFG_CHANNEL:
+            self.channel = a & 0xFFFF
+        else:
+            raise CfuError(f"winograd: no config funct7={funct7}")
+        return 0
+
+    def _write_filter(self, funct7, a):
+        if funct7 & 2:                  # pointwise filter stream
+            if funct7 & 1:
+                self.pw_wptr = 0
+            self.pw_filter[self.pw_wptr % self.pw_filter_words] = a
+            self.pw_wptr = (self.pw_wptr + 1) & 0xFFFF
+            return 0
+        # Depthwise: collect 3 words, transform on the third.
+        if funct7 & 1:
+            self.dw_count = 0
+        if self.dw_count == 0:
+            self.dw_w0 = a
+            self.dw_count = 1
+        elif self.dw_count == 1:
+            self.dw_w1 = a
+            self.dw_count = 2
+        else:
+            sx, w0, w1 = _SX, self.dw_w0, self.dw_w1
+            g = (sx[w0 & 0xFF], sx[(w0 >> 8) & 0xFF], sx[(w0 >> 16) & 0xFF],
+                 sx[(w0 >> 24) & 0xFF],
+                 sx[w1 & 0xFF], sx[(w1 >> 8) & 0xFF], sx[(w1 >> 16) & 0xFF],
+                 sx[(w1 >> 24) & 0xFF],
+                 sx[a & 0xFF])
+            self.urows[self.dw_wchan % self.channels] = transform_filter(g)
+            self.dw_wchan = (self.dw_wchan + 1) & 0xFFFF
+            self.dw_count = 0
+        return 0
+
+    def _write_input(self, funct7, a):
+        if funct7 & 1:
+            self.in_wptr = 0
+        self.inp[self.in_wptr % self.input_words] = a
+        self.in_wptr = (self.in_wptr + 1) & 0xFFFF
+        return 0
+
+    def _run_depthwise(self):
+        sx, inp = _SX, self.inp
+        # The four tile rows sit in banks 0..3, group 0 (words 0..3).
+        d = [None] * 4
+        for i in range(4):
+            word = inp[i]
+            d[i] = (sx[word & 0xFF], sx[(word >> 8) & 0xFF],
+                    sx[(word >> 16) & 0xFF], sx[(word >> 24) & 0xFF])
+        d0, d1, d2, d3 = d
+        # W = B^T d  (rows), V = W B  (columns) — exact integer.
+        w = ((d0[0] - d2[0], d0[1] - d2[1], d0[2] - d2[2], d0[3] - d2[3]),
+             (d1[0] + d2[0], d1[1] + d2[1], d1[2] + d2[2], d1[3] + d2[3]),
+             (d2[0] - d1[0], d2[1] - d1[1], d2[2] - d1[2], d2[3] - d1[3]),
+             (d1[0] - d3[0], d1[1] - d3[1], d1[2] - d3[2], d1[3] - d3[3]))
+        v = [(wr[0] - wr[2], wr[1] + wr[2], wr[2] - wr[1], wr[1] - wr[3])
+             for wr in w]
+        u = self.urows[self.channel % self.channels]
+        m = [u[4 * i + j] * v[i][j] for i in range(4) for j in range(4)]
+        # Z = A^T M, Y' = Z A; Y' = 4 * conv, recovered with >> 2.
+        z0 = (m[0] + m[4] + m[8], m[1] + m[5] + m[9],
+              m[2] + m[6] + m[10], m[3] + m[7] + m[11])
+        z1 = (m[4] - m[8] - m[12], m[5] - m[9] - m[13],
+              m[6] - m[10] - m[14], m[7] - m[11] - m[15])
+        ch = self.channel
+        y00 = self._requantize((z0[0] + z0[1] + z0[2]) >> 2, ch)
+        y01 = self._requantize((z0[1] - z0[2] - z0[3]) >> 2, ch)
+        y10 = self._requantize((z1[0] + z1[1] + z1[2]) >> 2, ch)
+        y11 = self._requantize((z1[1] - z1[2] - z1[3]) >> 2, ch)
+        return y00 | (y01 << 8) | (y10 << 16) | (y11 << 24)
+
+    def _run_pointwise(self):
+        sx, inp, filt = _SX, self.inp, self.pw_filter
+        nf, ni = self.pw_filter_words, self.input_words
+        accs = [0, 0, 0, 0]
+        for step in range(self.depth):
+            f = filt[(self.pw_fptr + step) % nf]
+            f0, f1 = sx[f & 0xFF], sx[(f >> 8) & 0xFF]
+            f2, f3 = sx[(f >> 16) & 0xFF], sx[(f >> 24) & 0xFF]
+            base = 4 * step
+            for lane in range(4):
+                w = inp[(base + lane) % ni]
+                accs[lane] += (sx[w & 0xFF] * f0 + sx[(w >> 8) & 0xFF] * f1
+                               + sx[(w >> 16) & 0xFF] * f2
+                               + sx[(w >> 24) & 0xFF] * f3)
+        ch = self.channel
+        word = 0
+        for lane in range(4):
+            word |= self._requantize(_s32(accs[lane] & 0xFFFFFFFF), ch) \
+                << (8 * lane)
+        self.channel = (ch + 1) & 0xFFFF
+        self.pw_fptr = (self.pw_fptr + self.depth) & 0xFFFF
+        return word
+
+    def _state(self, funct7):
+        if funct7 == 0:
+            return self.channel
+        if funct7 == 1:
+            return self.pw_fptr
+        if funct7 == 2:
+            return self.depth
+        if funct7 == 3:
+            return self.dw_wchan
+        if funct7 == 4:
+            return self.in_wptr
+        raise CfuError(f"winograd: no state register {funct7}")
+
+    # --- timing ------------------------------------------------------------------
+
+    def latency(self, funct3, funct7):
+        if funct3 == F3_RUN_DW:
+            return 3
+        if funct3 == F3_RUN_PW:
+            return self.depth + 3
+        return 1
+
+    def fast_call(self, funct3, funct7):
+        """Single-cycle fast paths for the upload streams (the hot ops:
+        four input words per depthwise tile, ``4 * depth`` per pointwise
+        quad)."""
+        if funct3 == F3_WRITE_INPUT:
+            def write_input(a, b, funct7=funct7 & 0x7F):
+                self._write_input(funct7, a & 0xFFFFFFFF)
+                return 0
+            return write_input
+        if funct3 == F3_WRITE_FILT:
+            def write_filter(a, b, funct7=funct7 & 0x7F):
+                self._write_filter(funct7, a & 0xFFFFFFFF)
+                return 0
+            return write_filter
+        return None
+
+    def resources(self):
+        from .resources import winograd_resources
+
+        return winograd_resources()
+
+
+def _s32(x):
+    x &= 0xFFFFFFFF
+    return x - (1 << 32) if x & 0x80000000 else x
+
+
+def _s16(x):
+    x &= 0xFFFF
+    return x - (1 << 16) if x & 0x8000 else x

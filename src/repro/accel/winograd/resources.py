@@ -1,0 +1,34 @@
+"""Resource estimates for the Winograd CFU on the Arty A7 envelope.
+
+The full-size design is estimated from its RTL netlist at deployment
+sizing: 512 channels of transformed filters (four 52-bit rows each),
+a 4096-word pointwise filter store, and 512 input words across the
+four banks — enough for MNV2-0.75's largest bottleneck layers.
+
+The 16 tile multipliers (13x12) and the four shared requantization
+lanes (32x32 SRDHM each) dominate DSP/LUT usage; the transformed
+filter store dominates block RAM.  The estimate must fit next to the
+VexRiscv SoC inside the Arty A7-35T envelope, which
+``tests/test_accel_winograd.py`` asserts.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ...rtl.synth import estimate
+
+#: Full deployment sizing (MNV2-0.75's largest layers need these).
+FULL_CHANNELS = 512
+FULL_PW_FILTER_WORDS = 4096
+FULL_INPUT_WORDS = 512
+
+
+@lru_cache(maxsize=None)
+def winograd_resources():
+    """Resource report of the full-size Winograd CFU gateware."""
+    from .rtl import WinogradRtl
+
+    return estimate(WinogradRtl(channels=FULL_CHANNELS,
+                                pw_filter_words=FULL_PW_FILTER_WORDS,
+                                input_words=FULL_INPUT_WORDS).module)

@@ -1,0 +1,306 @@
+"""Gateware for the Winograd F(2x2,3x3) CFU, in the RTL DSL.
+
+One design, three datapath blocks, mirroring
+:class:`~repro.accel.winograd.model.WinogradCfu` bit-for-bit:
+
+- a *filter transform unit* that computes ``U' = G' g G'^T`` on upload
+  (the third packed filter word triggers a combinational transform and
+  a 4-way write into the transformed-filter store);
+- an *input transform + 4x4 element-wise MAC array*: the four tile
+  rows are read from the input banks, ``V = B^T d B`` is formed
+  combinationally, and 16 multipliers produce ``M = U' (*) V``;
+- an *output transform* (``Y' = A^T M A``, then ``>> 2``) feeding four
+  shared :func:`~repro.accel.common.requantize_expr` lanes — the same
+  four lanes requantize the pointwise accumulators, so the TFLite
+  output path exists exactly once in the design.
+
+The pointwise mode reuses the four input banks as pixel lanes and runs
+one 4-wide ``dot4`` per bank per cycle (16 MACs/cycle), giving the
+1x1-convolution half of the ladder on the same stores.
+
+Timing matches the model: single-cycle uploads/config, RUN_DW in 3
+cycles (accept / transform+requantize / respond), RUN_PW in
+``depth + 3`` (accept / depth accumulate cycles / requantize /
+respond).
+"""
+
+from __future__ import annotations
+
+from ...cfu.rtl import RtlCfu
+from ...rtl import Cat, Memory, Mux, Signal
+from ..common import dot4_expr, lane_s8, requantize_expr
+from .model import (
+    CFG_CHANNEL,
+    CFG_DEPTH,
+    CFG_OUTPUT,
+    CFG_RESET,
+    CFG_RESTART,
+    CFG_SHIFT,
+    F3_CONFIG,
+    F3_RUN_DW,
+    F3_RUN_PW,
+    F3_STATE,
+    F3_WRITE_FILT,
+    F3_WRITE_INPUT,
+)
+from .model import CFG_BIAS, CFG_MULT
+
+
+def _input_transform(d):
+    """``V = B^T d B`` over a 4x4 of signed values (exact, comb)."""
+    w = [
+        [d[0][j] - d[2][j] for j in range(4)],
+        [d[1][j] + d[2][j] for j in range(4)],
+        [d[2][j] - d[1][j] for j in range(4)],
+        [d[1][j] - d[3][j] for j in range(4)],
+    ]
+    return [[w[i][0] - w[i][2], w[i][1] + w[i][2],
+             w[i][2] - w[i][1], w[i][1] - w[i][3]] for i in range(4)]
+
+
+def _filter_transform(g):
+    """``U' = G' g G'^T`` for a row-major 9-element filter (exact, comb)."""
+    t = [
+        [g[0] + g[0], g[1] + g[1], g[2] + g[2]],
+        [g[0] + g[3] + g[6], g[1] + g[4] + g[7], g[2] + g[5] + g[8]],
+        [g[0] - g[3] + g[6], g[1] - g[4] + g[7], g[2] - g[5] + g[8]],
+        [g[6] + g[6], g[7] + g[7], g[8] + g[8]],
+    ]
+    return [[t[i][0] + t[i][0], t[i][0] + t[i][1] + t[i][2],
+             t[i][0] - t[i][1] + t[i][2], t[i][2] + t[i][2]]
+            for i in range(4)]
+
+
+class WinogradRtl(RtlCfu):
+    """The full Winograd CFU: stores, transform units, shared postproc."""
+
+    name = "winograd"
+
+    _IDLE, _RUN, _POST, _DONE = range(4)
+
+    def __init__(self, channels=64, pw_filter_words=256, input_words=64):
+        for value, label in ((channels, "channels"),
+                             (pw_filter_words, "pw_filter_words"),
+                             (input_words, "input_words")):
+            if value & (value - 1):
+                raise ValueError(f"{label} must be a power of two")
+        if input_words % 4:
+            raise ValueError("input_words must be a multiple of 4")
+        self.channels = channels
+        self.pw_filter_words = pw_filter_words
+        self.input_words = input_words
+        super().__init__()
+
+    def elaborate(self, m, ports):
+        groups = self.input_words // 4
+        bias_mem = m.add_memory(Memory(32, self.channels, name="wg_bias"))
+        mult_mem = m.add_memory(Memory(32, self.channels, name="wg_mult"))
+        shift_mem = m.add_memory(Memory(5, self.channels, name="wg_shift"))
+        # One memory per U' row: all 16 transformed elements are readable
+        # in a single cycle (4 x 13-bit signed fields per word).
+        u_mems = [m.add_memory(Memory(52, self.channels, name=f"wg_u{i}"))
+                  for i in range(4)]
+        pwf_mem = m.add_memory(Memory(32, self.pw_filter_words,
+                                      name="wg_pwfilt"))
+        banks = [m.add_memory(Memory(32, groups, name=f"wg_in{r}"))
+                 for r in range(4)]
+
+        state = Signal(2, name="wg_state")
+        run_is_pw = Signal(1, name="wg_runpw")
+        depth = Signal(12, name="wg_depth", reset=1)
+        step = Signal(12, name="wg_step")
+        channel = Signal(16, name="wg_channel")
+        param_wptr = Signal(16, name="wg_pwptr")
+        dw_wchan = Signal(16, name="wg_dwchan")
+        dw_cnt = Signal(2, name="wg_dwcnt")
+        dw_w0 = Signal(32, name="wg_dww0")
+        dw_w1 = Signal(32, name="wg_dww1")
+        pw_fptr = Signal(16, name="wg_fptr")
+        pw_wptr = Signal(16, name="wg_fwptr")
+        in_wptr = Signal(16, name="wg_iwptr")
+        accs = [Signal(32, name=f"wg_acc{r}", signed=True) for r in range(4)]
+        out_word = Signal(32, name="wg_outword")
+        zero_point = Signal(16, name="wg_zp", signed=True)
+        act_min = Signal(8, name="wg_actmin", signed=True, reset=0x80)
+        act_max = Signal(8, name="wg_actmax", signed=True, reset=0x7F)
+
+        bias_rp, mult_rp, shift_rp = (mem.read_port() for mem in
+                                      (bias_mem, mult_mem, shift_mem))
+        u_rps = [mem.read_port() for mem in u_mems]
+        pwf_rp = pwf_mem.read_port()
+        bank_rps = [mem.read_port() for mem in banks]
+
+        f3 = ports.cmd_funct3
+        f7 = ports.cmd_funct7
+        a = ports.cmd_in0
+        b = ports.cmd_in1
+        f7_first = f7[0:1]
+        f7_pw = f7[1:2]
+
+        idle = state == self._IDLE
+        is_run = (f3 == F3_RUN_DW) | (f3 == F3_RUN_PW)
+        m.d.comb += ports.cmd_ready.eq(idle)
+        accepted = ports.cmd_valid & ports.cmd_ready & ports.rsp_ready
+        single = ports.cmd_valid & idle & ~is_run
+        m.d.comb += ports.rsp_valid.eq(single | (state == self._DONE))
+
+        # --- channel-parameter streams (shared write pointer) -------------------
+        for wp, cfg in ((bias_mem.write_port(), CFG_BIAS),
+                        (mult_mem.write_port(), CFG_MULT),
+                        (shift_mem.write_port(), CFG_SHIFT)):
+            m.d.comb += wp.addr.eq(param_wptr[0:wp.addr.width])
+            if cfg == CFG_SHIFT:
+                # Stored as a right-shift amount: negate the signed shift.
+                m.d.comb += wp.data.eq((0 - a)[0:5])
+            else:
+                m.d.comb += wp.data.eq(a)
+            m.d.comb += wp.en.eq(accepted & (f3 == F3_CONFIG) & (f7 == cfg))
+
+        with m.If(accepted & (f3 == F3_CONFIG)):
+            with m.If(f7 == CFG_SHIFT):
+                m.d.sync += param_wptr.eq(
+                    Mux(param_wptr + 1 == self.channels, 0, param_wptr + 1))
+            with m.Elif(f7 == CFG_OUTPUT):
+                m.d.sync += zero_point.eq(a[0:16])
+                m.d.sync += act_min.eq(b[0:8])
+                m.d.sync += act_max.eq(b[8:16])
+            with m.Elif(f7 == CFG_DEPTH):
+                m.d.sync += depth.eq(Mux(a[0:12] == 0, 1, a[0:12]))
+            with m.Elif(f7 == CFG_RESTART):
+                m.d.sync += channel.eq(0)
+                m.d.sync += pw_fptr.eq(0)
+            with m.Elif(f7 == CFG_CHANNEL):
+                m.d.sync += channel.eq(a[0:16])
+            with m.Elif(f7 == CFG_RESET):
+                for reg in (channel, param_wptr, dw_wchan, dw_cnt, dw_w0,
+                            dw_w1, pw_fptr, pw_wptr, in_wptr, step,
+                            run_is_pw, out_word, zero_point):
+                    m.d.sync += reg.eq(0)
+                m.d.sync += depth.eq(1)
+                m.d.sync += act_min.eq(0x80)
+                m.d.sync += act_max.eq(0x7F)
+                for acc in accs:
+                    m.d.sync += acc.eq(0)
+
+        # --- filter transform unit (depthwise upload path) ----------------------
+        is_wf = f3 == F3_WRITE_FILT
+        g = [lane_s8(dw_w0, lane) for lane in range(4)] \
+            + [lane_s8(dw_w1, lane) for lane in range(4)] + [lane_s8(a, 0)]
+        u_rows = _filter_transform(g)
+        third = ~f7_first & (dw_cnt == 2)
+        for i, mem in enumerate(u_mems):
+            wp = mem.write_port()
+            m.d.comb += wp.addr.eq(dw_wchan[0:wp.addr.width])
+            packed = [Signal(13, name=f"wg_upack{i}_{j}") for j in range(4)]
+            for sig, element in zip(packed, u_rows[i]):
+                m.d.comb += sig.eq(element)   # 13-bit two's complement
+            m.d.comb += wp.data.eq(Cat(packed))
+            m.d.comb += wp.en.eq(accepted & is_wf & ~f7_pw & third)
+
+        with m.If(accepted & is_wf & ~f7_pw):
+            with m.If(f7_first | (dw_cnt == 0)):
+                m.d.sync += dw_w0.eq(a)
+                m.d.sync += dw_cnt.eq(1)
+            with m.Elif(dw_cnt == 1):
+                m.d.sync += dw_w1.eq(a)
+                m.d.sync += dw_cnt.eq(2)
+            with m.Else():
+                m.d.sync += dw_cnt.eq(0)
+                m.d.sync += dw_wchan.eq(dw_wchan + 1)
+
+        # Pointwise filter stream.
+        pwf_wp = pwf_mem.write_port()
+        m.d.comb += pwf_wp.addr.eq(
+            Mux(f7_first, 0, pw_wptr[0:pwf_wp.addr.width]))
+        m.d.comb += pwf_wp.data.eq(a)
+        m.d.comb += pwf_wp.en.eq(accepted & is_wf & f7_pw)
+        with m.If(accepted & is_wf & f7_pw):
+            m.d.sync += pw_wptr.eq(Mux(f7_first, 1, pw_wptr + 1))
+
+        # --- input banks (word i -> bank i % 4, group i // 4) -------------------
+        is_wi = f3 == F3_WRITE_INPUT
+        eff_wptr = Mux(f7_first, 0, in_wptr)
+        for r, mem in enumerate(banks):
+            wp = mem.write_port()
+            m.d.comb += wp.addr.eq(eff_wptr[2:2 + wp.addr.width])
+            m.d.comb += wp.data.eq(a)
+            m.d.comb += wp.en.eq(accepted & is_wi & (eff_wptr[0:2] == r))
+        with m.If(accepted & is_wi):
+            m.d.sync += in_wptr.eq(Mux(f7_first, 1, in_wptr + 1))
+
+        # --- shared read addressing ---------------------------------------------
+        for rp in (bias_rp, mult_rp, shift_rp):
+            m.d.comb += rp.addr.eq(channel[0:rp.addr.width])
+        for rp in u_rps:
+            m.d.comb += rp.addr.eq(channel[0:rp.addr.width])
+        m.d.comb += pwf_rp.addr.eq((pw_fptr + step)[0:pwf_rp.addr.width])
+        for rp in bank_rps:
+            m.d.comb += rp.addr.eq(step[0:rp.addr.width])
+
+        # --- input transform + 4x4 element-wise MAC array + output transform ----
+        d = [[lane_s8(bank_rps[i].data, j) for j in range(4)]
+             for i in range(4)]
+        v = _input_transform(d)
+        u = [[u_rps[i].data[13 * j:13 * j + 13].as_signed()
+              for j in range(4)] for i in range(4)]
+        prod = [[u[i][j] * v[i][j] for j in range(4)] for i in range(4)]
+        z0 = [prod[0][j] + prod[1][j] + prod[2][j] for j in range(4)]
+        z1 = [prod[1][j] - prod[2][j] - prod[3][j] for j in range(4)]
+        dw_y = [
+            (z0[0] + z0[1] + z0[2]) >> 2,
+            (z0[1] - z0[2] - z0[3]) >> 2,
+            (z1[0] + z1[1] + z1[2]) >> 2,
+            (z1[1] - z1[2] - z1[3]) >> 2,
+        ]
+
+        # --- four shared requantization lanes ------------------------------------
+        # Depthwise tiles and pointwise accumulators share the one TFLite
+        # output path (SRDHM -> rounding shift -> zero point -> clamp).
+        lanes = []
+        for r in range(4):
+            acc_in = Mux(run_is_pw, accs[r], dw_y[r])
+            lanes.append(requantize_expr(
+                acc_in.as_signed() + bias_rp.data.as_signed(),
+                mult_rp.data.as_signed(), shift_rp.data,
+                zero_point, act_min, act_max))
+        req_word = Cat(lanes[0][0:8], lanes[1][0:8],
+                       lanes[2][0:8], lanes[3][0:8])
+
+        # --- RUN FSM -------------------------------------------------------------
+        with m.If(accepted & idle & is_run):
+            m.d.sync += state.eq(self._RUN)
+            m.d.sync += step.eq(0)
+            m.d.sync += run_is_pw.eq(f3 == F3_RUN_PW)
+            for acc in accs:
+                m.d.sync += acc.eq(0)
+
+        dots = [dot4_expr(bank_rps[r].data, pwf_rp.data) for r in range(4)]
+        with m.If(state == self._RUN):
+            with m.If(run_is_pw):
+                for acc, dot in zip(accs, dots):
+                    m.d.sync += acc.eq((acc + dot)[0:32])
+                m.d.sync += step.eq(step + 1)
+                with m.If(step + 1 == depth):
+                    m.d.sync += state.eq(self._POST)
+            with m.Else():
+                m.d.sync += out_word.eq(req_word)
+                m.d.sync += state.eq(self._DONE)
+
+        with m.If(state == self._POST):
+            m.d.sync += out_word.eq(req_word)
+            m.d.sync += channel.eq(channel + 1)
+            m.d.sync += pw_fptr.eq(pw_fptr + depth)
+            m.d.sync += state.eq(self._DONE)
+
+        # --- respond -------------------------------------------------------------
+        state_val = Mux(
+            f7 == 0, channel,
+            Mux(f7 == 1, pw_fptr,
+                Mux(f7 == 2, depth,
+                    Mux(f7 == 3, dw_wchan,
+                        Mux(f7 == 4, in_wptr, 0)))))
+        single_result = Mux(f3 == F3_STATE, state_val, 0)
+        m.d.comb += ports.rsp_out.eq(
+            Mux(state == self._DONE, out_word, single_result))
+        with m.If((state == self._DONE) & ports.rsp_ready):
+            m.d.sync += state.eq(self._IDLE)

@@ -122,12 +122,17 @@ class GridTensors:
 
 
 def pareto_front_indices(cycles, cells, feasible=None):
-    """Indices of the exact Pareto front, cycles-ascending, O(n log n).
+    """Indices of the exact Pareto front, (cycles, cells)-ascending.
 
-    Sort by (cycles, cells) and keep every point whose cell count is a
-    strict running minimum — the classic skyline scan.  Metric
-    duplicates collapse to one representative, matching the front
-    semantics of :meth:`~repro.dse.runner.DseResult.family_front`.
+    Sort by (cycles, cells) and run the skyline scan per cycles-group:
+    a point survives iff its cell count equals its group's minimum and
+    that minimum strictly undercuts every earlier (faster) group — the
+    same contract as the scalar :func:`~repro.dse.pareto.pareto_front`,
+    which keeps *all* non-dominated metric ties.  Axes that affect
+    neither metric produce exactly such ties on the full grid, and
+    dropping them silently would hide design points from the front
+    (:meth:`~repro.dse.runner.DseResult.family_front` may still collapse
+    ties downstream; this function must not).  O(n log n).
     """
     cycles = np.asarray(cycles)
     cells = np.asarray(cells)
@@ -137,11 +142,18 @@ def pareto_front_indices(cycles, cells, feasible=None):
         return idx
     order = np.lexsort((cells[idx], cycles[idx]))
     idx = idx[order]
+    sorted_cycles = cycles[idx]
     sorted_cells = cells[idx]
-    keep = np.empty(idx.size, dtype=bool)
-    keep[0] = True
+    positions = np.arange(idx.size)
+    new_group = np.empty(idx.size, dtype=bool)
+    new_group[0] = True
+    new_group[1:] = sorted_cycles[1:] != sorted_cycles[:-1]
+    start = np.maximum.accumulate(np.where(new_group, positions, 0))
+    group_min = sorted_cells[start]    # cells tie-breaks the lexsort
     running_min = np.minimum.accumulate(sorted_cells)
-    keep[1:] = sorted_cells[1:] < running_min[:-1]
+    keep = sorted_cells == group_min
+    later = start > 0                  # groups with a strictly faster one
+    keep[later] &= group_min[later] < running_min[start[later] - 1]
     return idx[keep]
 
 

@@ -46,6 +46,12 @@ from .study import MetricGoal, Study
 
 CFU_FAMILIES = ("none", "cfu1", "cfu2")
 
+# Opt-in fourth family: the Winograd F(2x2,3x3) CFU.  Kept out of
+# CFU_FAMILIES so the paper's 93,312-point space (and every recorded
+# study) is unchanged; sweeps pass this tuple explicitly to place the
+# Winograd ladder on the same axes as the stock curves.
+ALL_CFU_FAMILIES = CFU_FAMILIES + ("winograd",)
+
 # Trials suggested (and evaluated) per scheduling round.  Fixed — NOT a
 # function of the worker count — so serial and parallel runs see the
 # same algorithm state at every suggestion and stay bit-identical.
@@ -63,6 +69,11 @@ def family_extras(family):
     if family == "cfu2":
         return tuple(kws_variants(postproc=True, specialized=True)), \
             cfu2_resources()
+    if family == "winograd":
+        from ..accel.winograd.resources import winograd_resources
+        from ..kernels.winograd import winograd_variants
+
+        return tuple(winograd_variants()), winograd_resources()
     raise KeyError(f"unknown CFU family {family!r}")
 
 

@@ -293,6 +293,10 @@ class SessionManager:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.sessions = {}            # insertion-ordered: LRU front-to-back
         self._ids = itertools.count(1)
+        # ``sessions`` is reordered on every get() (LRU touch), so the
+        # creation sequence is tracked separately for listings.
+        self._created_seq = itertools.count()
+        self._created = {}            # session_id -> creation sequence
         self._export_gauges()
 
     # --- lifecycle ----------------------------------------------------------------
@@ -304,10 +308,12 @@ class SessionManager:
                                status=409)
         session = Session(self, session_id, spec)
         self.sessions[session_id] = session
+        self._created[session_id] = next(self._created_seq)
         self.metrics.counter("sessions_created").inc()
         while len(self.sessions) > self.max_sessions:
             evicted = next(iter(self.sessions))
             del self.sessions[evicted]
+            del self._created[evicted]
             self.metrics.counter("sessions_evicted").inc()
         self._export_gauges()
         return session
@@ -327,12 +333,16 @@ class SessionManager:
         except KeyError:
             raise SessionError(f"no session {session_id}",
                                status=404) from None
+        del self._created[session_id]
         self.metrics.counter("sessions_deleted").inc()
         self._export_gauges()
         return {"session_id": session_id, "deleted": True}
 
     def list_statuses(self):
-        return [self.sessions[sid].status() for sid in sorted(self.sessions)]
+        # Creation order, not lexicographic: "session-10" must list
+        # after "session-2", and LRU touches must not reshuffle it.
+        ordered = sorted(self.sessions, key=self._created.__getitem__)
+        return [self.sessions[sid].status() for sid in ordered]
 
     # --- observability ------------------------------------------------------------
     def observe_run(self, seconds):

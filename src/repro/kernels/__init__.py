@@ -4,8 +4,20 @@ from .api import KernelVariant, VariantSet
 from .conv1x1 import LADDER_VARIANTS
 from .kws import KwsSimdConv2D, KwsSimdDepthwise, kws_variants
 from .reference import reference_variants
+from .winograd import (
+    WinogradDepthwise,
+    WinogradPointwise,
+    depthwise_via_winograd_cfu,
+    pointwise_via_winograd_cfu,
+    winograd_depthwise,
+    winograd_pointwise,
+    winograd_variants,
+)
 
 __all__ = [
     "KernelVariant", "KwsSimdConv2D", "KwsSimdDepthwise", "LADDER_VARIANTS",
-    "VariantSet", "kws_variants", "reference_variants",
+    "VariantSet", "WinogradDepthwise", "WinogradPointwise",
+    "depthwise_via_winograd_cfu", "kws_variants", "pointwise_via_winograd_cfu",
+    "reference_variants", "winograd_depthwise", "winograd_pointwise",
+    "winograd_variants",
 ]

@@ -1,0 +1,171 @@
+"""Randomized equivalence: the shared RTL post-processing expressions
+(`srdhm_expr`, `rdbpot_expr`, `requantize_expr` in ``repro.accel.common``)
+against the TFLM fixed-point oracles in ``repro.tflm.quantize``.
+
+Every CFU family funnels its accumulators through these expressions, so
+this suite is the single place that pins their numerics: the doubling
+high-mul's away-from-zero nudge, rounding right shifts at exponents 0
+and 31, negative-value rounding, and the activation clamp corners.
+"""
+
+import random
+
+import pytest
+
+from repro.accel.common import rdbpot_expr, requantize_expr, srdhm_expr
+from repro.rtl import Module, Signal, Simulator
+from repro.tflm.quantize import (
+    requantize,
+    rounding_divide_by_pot,
+    saturating_rounding_doubling_high_mul,
+)
+
+INT32_MIN, INT32_MAX = -(1 << 31), (1 << 31) - 1
+
+
+def _harness(build):
+    """A settle-and-peek closure around one combinational expression."""
+    m = Module("postproc-equiv")
+    inputs, out_sig = build(m)
+    sim = Simulator(m)
+
+    def run(*values):
+        for sig, value in zip(inputs, values):
+            sim.poke(sig, value & ((1 << sig.width) - 1))
+        sim.settle()
+        return sim.peek_signed(out_sig)
+
+    return run
+
+
+@pytest.fixture(scope="module")
+def srdhm():
+    def build(m):
+        value = Signal(32, name="value", signed=True)
+        mult = Signal(32, name="mult", signed=True)
+        out = Signal(32, name="out", signed=True)
+        m.d.comb += out.eq(srdhm_expr(value, mult))
+        return (value, mult), out
+
+    return _harness(build)
+
+
+@pytest.fixture(scope="module")
+def rdbpot():
+    def build(m):
+        value = Signal(32, name="value", signed=True)
+        exponent = Signal(5, name="exponent")
+        out = Signal(32, name="out", signed=True)
+        m.d.comb += out.eq(rdbpot_expr(value, exponent))
+        return (value, exponent), out
+
+    return _harness(build)
+
+
+@pytest.fixture(scope="module")
+def requant():
+    def build(m):
+        acc = Signal(32, name="acc", signed=True)
+        mult = Signal(32, name="mult", signed=True)
+        shift = Signal(5, name="shift")
+        zero_point = Signal(16, name="zp", signed=True)
+        act_min = Signal(8, name="amin", signed=True)
+        act_max = Signal(8, name="amax", signed=True)
+        out = Signal(8, name="out", signed=True)
+        m.d.comb += out.eq(requantize_expr(acc, mult, shift, zero_point,
+                                           act_min, act_max))
+        return (acc, mult, shift, zero_point, act_min, act_max), out
+
+    return _harness(build)
+
+
+def _quantized_multiplier(rng):
+    """The range QuantizeMultiplier emits: [2^30, 2^31)."""
+    return rng.randrange(1 << 30, 1 << 31)
+
+
+def test_srdhm_randomized(srdhm):
+    rng = random.Random(0)
+    for _ in range(300):
+        value = rng.randrange(INT32_MIN, INT32_MAX + 1)
+        mult = _quantized_multiplier(rng)
+        assert srdhm(value, mult) \
+            == saturating_rounding_doubling_high_mul(value, mult), \
+            (value, mult)
+
+
+def test_srdhm_nudge_sign_boundary(srdhm):
+    # The away-from-zero nudge flips exactly at product sign.
+    for value in (-3, -2, -1, 0, 1, 2, 3):
+        for mult in (1 << 30, (1 << 31) - 1):
+            assert srdhm(value, mult) \
+                == saturating_rounding_doubling_high_mul(value, mult)
+
+
+def test_rdbpot_randomized_all_exponents(rdbpot):
+    rng = random.Random(1)
+    for exponent in range(32):
+        for _ in range(40):
+            value = rng.randrange(INT32_MIN, INT32_MAX + 1)
+            assert rdbpot(value, exponent) \
+                == rounding_divide_by_pot(value, exponent), (value, exponent)
+
+
+def test_rdbpot_exponent_zero_is_identity(rdbpot):
+    for value in (INT32_MIN, -1, 0, 1, INT32_MAX):
+        assert rdbpot(value, 0) == value
+
+
+def test_rdbpot_negative_rounding(rdbpot):
+    # TFLM rounds half away from zero: -3/2 = -1.5 -> -2, but the
+    # sub-half -7/4 = -1.75 truncation nudges back to -2, not -1.
+    cases = [(-3, 1, -2), (-2, 1, -1), (-1, 1, -1), (-5, 1, -3),
+             (-6, 2, -2), (-7, 2, -2), (3, 1, 2), (5, 2, 1)]
+    for value, exponent, expected in cases:
+        assert rounding_divide_by_pot(value, exponent) == expected  # oracle
+        assert rdbpot(value, exponent) == expected
+
+
+def test_rdbpot_exponent_31(rdbpot):
+    assert rdbpot(INT32_MIN, 31) == rounding_divide_by_pot(INT32_MIN, 31) == -1
+    assert rdbpot(INT32_MAX, 31) == rounding_divide_by_pot(INT32_MAX, 31) == 1
+    assert rdbpot((1 << 30), 31) == rounding_divide_by_pot(1 << 30, 31) == 1
+
+
+def _requantize_oracle(acc, mult, right_shift, zp, amin, amax):
+    # The RTL takes the shift pre-negated; the TFLM oracle wants the
+    # original (non-positive) shift and adds bias upstream of us.
+    return int(requantize(acc, mult, -right_shift, zp, amin, amax))
+
+
+def test_requantize_randomized(requant):
+    rng = random.Random(2)
+    for _ in range(300):
+        acc = rng.randrange(-(1 << 24), 1 << 24)
+        mult = _quantized_multiplier(rng)
+        right_shift = rng.randrange(0, 16)
+        zp = rng.randrange(-128, 128)
+        amin = rng.randrange(-128, 64)
+        amax = rng.randrange(amin, 128)
+        assert requant(acc, mult, right_shift, zp, amin, amax) \
+            == _requantize_oracle(acc, mult, right_shift, zp, amin, amax), \
+            (acc, mult, right_shift, zp, amin, amax)
+
+
+def test_requantize_clamp_corners(requant):
+    mult = 1 << 30
+    for acc, right_shift in ((1 << 24, 0), (-(1 << 24), 0), (77, 3)):
+        for zp in (-128, 0, 127):
+            for amin, amax in ((-128, 127), (zp, 127), (-128, zp),
+                               (zp, zp)):
+                if amin > amax:
+                    continue
+                assert requant(acc, mult, right_shift, zp, amin, amax) \
+                    == _requantize_oracle(acc, mult, right_shift, zp,
+                                          amin, amax)
+
+
+def test_requantize_shift_31(requant):
+    for acc in (INT32_MIN // 2, -1, 0, 1, INT32_MAX // 2):
+        assert requant(acc, 1 << 30, 31, 0, -128, 127) \
+            == _requantize_oracle(acc, 1 << 30, 31, 0, -128, 127)

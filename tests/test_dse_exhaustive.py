@@ -24,7 +24,7 @@ from repro.dse import (
     run_exhaustive_service,
     search_regret,
 )
-from repro.dse.exhaustive import ExhaustiveSweeper
+from repro.dse.exhaustive import ExhaustiveSweeper, pareto_front_indices
 from repro.dse.service import space_to_spec
 
 REDUCED_SPACE = ParameterSpace([
@@ -117,6 +117,55 @@ def test_evolution_recovers_the_true_front(evaluator, true_front):
     # The single fastest design must be found exactly.
     assert (min(p.cycles for p in found_front)
             == min(p.cycles for p in true_front))
+
+
+def test_pareto_front_indices_keeps_duplicate_metrics():
+    """Regression: the vectorized skyline scan used to drop points whose
+    (cycles, cells) tie an already-kept point.  The scalar oracle keeps
+    all five of these; the index scan must agree."""
+    import numpy as np
+
+    points = [(10, 5), (10, 5), (12, 4), (12, 4), (9, 9)]
+    cycles = np.array([p[0] for p in points], dtype=float)
+    cells = np.array([p[1] for p in points])
+    idx = pareto_front_indices(cycles, cells)
+    scalar = pareto_front(points)
+    assert len(scalar) == 5
+    assert [(int(cycles[i]), int(cells[i])) for i in idx] == scalar
+
+
+# A space whose icache_ways axis is metric-neutral at icache_bytes == 0:
+# distinct designs with identical (cycles, cells) land on the front.
+TIED_SPACE = ParameterSpace([
+    Parameter("bypassing", (False, True)),
+    Parameter("branch_prediction", ("none", "dynamic_target")),
+    Parameter("multiplier", ("iterative", "single_cycle")),
+    Parameter("divider", ("iterative",)),
+    Parameter("shifter", ("barrel",)),
+    Parameter("hw_error_checking", (False,)),
+    Parameter("icache_bytes", (0, 4096)),
+    Parameter("dcache_bytes", (0, 4096)),
+    Parameter("icache_ways", (1, 2)),
+])
+
+
+def test_tied_space_fronts_are_identical_points(evaluator):
+    """Vectorized sweep and scalar enumeration must agree on the exact
+    front *points* — configurations, not just metrics — on a space
+    containing metric-tied designs."""
+    sweeper = ExhaustiveSweeper(model=evaluator.model, space=TIED_SPACE)
+    scalar = [evaluator.evaluate(point, "none")
+              for point in TIED_SPACE.grid()]
+    scalar_front = pareto_front([p for p in scalar if p is not None],
+                                key=lambda p: p.metrics)
+    vector_front = sweeper.front_points("none")
+
+    def ident(point):
+        return (tuple(sorted(point.parameters.items())), point.metrics)
+
+    assert sorted(map(ident, vector_front)) == sorted(map(ident, scalar_front))
+    metrics = [p.metrics for p in vector_front]
+    assert len(metrics) > len(set(metrics))  # the ties really exist
 
 
 def test_front_respects_monotonicity(true_front):

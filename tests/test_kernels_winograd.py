@@ -1,0 +1,264 @@
+"""Winograd kernel pair tests: bit-exactness against the TFLM reference
+kernels (builder layers, the whole model zoo, and the real CFU dataflow
+down to compiled RTL), fallback rules, cost models, and the DSE family."""
+
+import numpy as np
+import pytest
+
+from repro.accel import WinogradRtl
+from repro.cfu.rtl import RtlCfuAdapter
+from repro.kernels import (
+    WinogradDepthwise,
+    WinogradPointwise,
+    depthwise_via_winograd_cfu,
+    pointwise_via_winograd_cfu,
+    winograd_depthwise,
+    winograd_pointwise,
+    winograd_variants,
+)
+from repro.kernels.reference import reference_variants
+from repro.models import ZOO, load
+from repro.tflm import Interpreter, ModelBuilder
+from repro.tflm.interpreter import reference_registry
+
+
+def _captured(model, x):
+    """{op name: (inputs, reference output)} for one reference invoke."""
+    captured = {}
+
+    def listener(op, inputs, output):
+        captured[op.name] = (inputs, output)
+
+    Interpreter(model, reference_registry(), listeners=[listener]).invoke(x)
+    return captured
+
+
+def _dw_model(hw=5, channels=4, padding="same", relu=True, stride=1, seed=0):
+    b = ModelBuilder("wino-dw", seed=seed)
+    b.input((1, hw, hw, channels))
+    b.depthwise_conv2d((3, 3), stride=(stride, stride), padding=padding,
+                       relu=relu, name="dw")
+    return b.build()
+
+
+def _pw_model(hw=4, in_ch=8, out_ch=8, relu=True, seed=0):
+    b = ModelBuilder("wino-pw", seed=seed)
+    b.input((1, hw, hw, in_ch))
+    b.conv2d(out_ch, 1, relu=relu, name="pw")
+    return b.build()
+
+
+def _layer(model, name, seed):
+    op = next(op for op in model.operators if op.name == name)
+    rng = np.random.default_rng(seed)
+    x = rng.integers(-128, 128, size=model.input.shape).astype(np.int8)
+    inputs, expected = _captured(model, x)[name]
+    return op, inputs, expected
+
+
+# --- vectorized exact path ---------------------------------------------------------
+
+
+@pytest.mark.parametrize("padding", ["same", "valid"])
+@pytest.mark.parametrize("relu", [True, False])
+@pytest.mark.parametrize("hw,channels", [(5, 4), (6, 3), (8, 8)])
+def test_vectorized_depthwise_bit_exact(padding, relu, hw, channels):
+    model = _dw_model(hw=hw, channels=channels, padding=padding, relu=relu,
+                      seed=hw + channels)
+    op, inputs, expected = _layer(model, "dw", seed=hw * 3)
+    assert np.array_equal(winograd_depthwise(op, inputs, model), expected)
+
+
+@pytest.mark.parametrize("relu", [True, False])
+@pytest.mark.parametrize("hw,in_ch,out_ch", [(4, 8, 8), (3, 16, 12), (5, 4, 6)])
+def test_vectorized_pointwise_bit_exact(relu, hw, in_ch, out_ch):
+    model = _pw_model(hw=hw, in_ch=in_ch, out_ch=out_ch, relu=relu,
+                      seed=hw + in_ch)
+    op, inputs, expected = _layer(model, "pw", seed=hw * 5)
+    assert np.array_equal(winograd_pointwise(op, inputs, model), expected)
+
+
+def test_depthwise_nonzero_input_zero_point():
+    """Post-ReLU inputs carry zero_point=-128; bias folding and tile
+    padding must both account for it."""
+    b = ModelBuilder("wino-zp", seed=5)
+    b.input((1, 5, 5, 4))
+    b.conv2d(4, 1, relu=True, name="front")
+    b.depthwise_conv2d((3, 3), name="dw")
+    model = b.build()
+    assert model.tensor("front_out").quant.zero_point == -128
+    rng = np.random.default_rng(6)
+    x = rng.integers(-128, 128, size=model.input.shape).astype(np.int8)
+    inputs, expected = _captured(model, x)["dw"]
+    op = model.operators[1]
+    assert np.array_equal(winograd_depthwise(op, inputs, model), expected)
+    assert np.array_equal(depthwise_via_winograd_cfu(op, inputs, model),
+                          expected)
+
+
+def test_whole_zoo_bit_exact():
+    """Every qualifying 3x3-depthwise and 1x1-pointwise layer of every
+    zoo model, bit-identical to the reference kernels."""
+    checked = {"dw": 0, "pw": 0}
+    for name in ZOO:
+        model = load(name)
+        rng = np.random.default_rng(hash(name) % (2 ** 31))
+        x = rng.integers(-128, 128, size=model.input.shape).astype(np.int8)
+        captured = _captured(model, x)
+        for op in model.operators:
+            if op.name not in captured:
+                continue
+            inputs, expected = captured[op.name]
+            if (op.opcode == "DEPTHWISE_CONV_2D"
+                    and WinogradDepthwise().applies_to(op, model)):
+                got = winograd_depthwise(op, inputs, model)
+                checked["dw"] += 1
+            elif (op.opcode == "CONV_2D"
+                    and WinogradPointwise().applies_to(op, model)):
+                got = winograd_pointwise(op, inputs, model)
+                checked["pw"] += 1
+            else:
+                continue
+            assert np.array_equal(got, expected), f"{name}:{op.name}"
+    # The sweep must actually cover both operators at zoo scale.
+    assert checked["dw"] >= 15 and checked["pw"] >= 30, checked
+
+
+# --- instruction-level drivers -----------------------------------------------------
+
+
+@pytest.mark.parametrize("padding", ["same", "valid"])
+def test_depthwise_driver_bit_exact(padding):
+    model = _dw_model(padding=padding, seed=3)
+    op, inputs, expected = _layer(model, "dw", seed=9)
+    assert np.array_equal(depthwise_via_winograd_cfu(op, inputs, model),
+                          expected)
+
+
+def test_pointwise_driver_bit_exact():
+    model = _pw_model(hw=3, in_ch=8, out_ch=6, seed=4)
+    op, inputs, expected = _layer(model, "pw", seed=11)
+    assert np.array_equal(pointwise_via_winograd_cfu(op, inputs, model),
+                          expected)
+
+
+def test_pointwise_driver_ragged_pixel_count():
+    """3x3 spatial = 9 pixels: the last quad is partial and its replica
+    lanes must be discarded, not stored."""
+    model = _pw_model(hw=3, in_ch=4, out_ch=5, seed=6)
+    op, inputs, expected = _layer(model, "pw", seed=13)
+    assert np.array_equal(pointwise_via_winograd_cfu(op, inputs, model),
+                          expected)
+
+
+@pytest.mark.parametrize("backend", ["interp", "compiled"])
+def test_depthwise_driver_against_rtl(backend):
+    model = _dw_model(hw=4, channels=2, seed=2)
+    op, inputs, expected = _layer(model, "dw", seed=1)
+    cfu = RtlCfuAdapter(WinogradRtl(channels=4, pw_filter_words=8,
+                                    input_words=8), backend=backend)
+    got = depthwise_via_winograd_cfu(op, inputs, model, cfu=cfu)
+    assert np.array_equal(got, expected)
+
+
+@pytest.mark.parametrize("backend", ["interp", "compiled"])
+def test_pointwise_driver_against_rtl(backend):
+    model = _pw_model(hw=2, in_ch=8, out_ch=4, seed=3)
+    op, inputs, expected = _layer(model, "pw", seed=5)
+    cfu = RtlCfuAdapter(WinogradRtl(channels=4, pw_filter_words=16,
+                                    input_words=8), backend=backend)
+    got = pointwise_via_winograd_cfu(op, inputs, model, cfu=cfu)
+    assert np.array_equal(got, expected)
+
+
+# --- fallback rules ----------------------------------------------------------------
+
+
+def test_strided_depthwise_falls_back():
+    model = _dw_model(hw=6, stride=2, seed=1)
+    op, inputs, expected = _layer(model, "dw", seed=2)
+    assert not WinogradDepthwise().applies_to(op, model)
+    assert np.array_equal(winograd_depthwise(op, inputs, model), expected)
+    assert np.array_equal(depthwise_via_winograd_cfu(op, inputs, model),
+                          expected)
+
+
+def test_unpacked_channels_pointwise_falls_back():
+    model = _pw_model(hw=4, in_ch=6, out_ch=8, seed=2)
+    op, inputs, expected = _layer(model, "pw", seed=3)
+    assert not WinogradPointwise().applies_to(op, model)
+    assert np.array_equal(winograd_pointwise(op, inputs, model), expected)
+    assert np.array_equal(pointwise_via_winograd_cfu(op, inputs, model),
+                          expected)
+
+
+def test_3x3_full_conv_not_claimed():
+    b = ModelBuilder("full-conv", seed=7)
+    b.input((1, 6, 6, 4))
+    b.conv2d(8, 3, name="conv")
+    model = b.build()
+    op = model.operators[0]
+    assert not WinogradPointwise().applies_to(op, model)
+
+
+# --- cost models and the DSE family ------------------------------------------------
+
+
+def test_variant_cycles_beat_reference():
+    from repro.boards import ARTY_A7_35T
+    from repro.cpu.vexriscv import VexRiscvConfig
+    from repro.perf.estimator import estimate_inference
+    from repro.soc import Soc
+
+    model = load("mobilenet_v2", width_multiplier=0.75, num_classes=100)
+    system = Soc(ARTY_A7_35T, VexRiscvConfig()).system_config()
+    base = estimate_inference(model, system, reference_variants())
+    wino = estimate_inference(
+        model, system, reference_variants().extended(*winograd_variants()))
+    assert wino.total_cycles < base.total_cycles / 5
+
+
+def test_variant_selection_covers_mnv2():
+    model = load("mobilenet_v2", width_multiplier=0.75, num_classes=100)
+    variants = reference_variants().extended(*winograd_variants())
+    names = [variants.select(op, model).name for op in model.operators
+             if op.opcode in ("CONV_2D", "DEPTHWISE_CONV_2D")]
+    assert names.count("winograd-dw") >= 10
+    assert names.count("winograd-pw") >= 30
+
+
+def test_family_extras_registered():
+    from repro.dse.runner import ALL_CFU_FAMILIES, CFU_FAMILIES, family_extras
+
+    assert CFU_FAMILIES == ("none", "cfu1", "cfu2")  # the 93,312-pt space
+    assert ALL_CFU_FAMILIES == CFU_FAMILIES + ("winograd",)
+    extras, resources = family_extras("winograd")
+    assert {v.name for v in extras} == {"winograd-dw", "winograd-pw"}
+    assert resources.dsps >= 20
+
+
+def test_winograd_lands_on_exhaustive_front():
+    """The fourth family sweeps the whole space next to CFU1/CFU2 and
+    its vectorized plane matches the scalar oracle bit-for-bit."""
+    from repro.dse.exhaustive import ExhaustiveSweeper
+    from repro.dse.runner import evaluate_design
+
+    sweeper = ExhaustiveSweeper()
+    plane = sweeper.family_plane("winograd")
+    assert plane.feasible_count > 0
+    assert len(plane.front_indices) > 0
+    # Winograd's fastest feasible point beats the CPU-only family's.
+    none_plane = sweeper.family_plane("none")
+    assert plane.cycles[plane.fit_ok].min() \
+        < none_plane.cycles[none_plane.fit_ok].min() / 5
+    # Spot-check the plane against the scalar reference oracle.
+    rng = np.random.default_rng(0)
+    for index in rng.choice(sweeper.grid.size, 3, replace=False):
+        point = evaluate_design(sweeper.model, sweeper.board,
+                                sweeper.grid.point(index), "winograd")
+        if point is None:
+            assert not plane.fit_ok[index]
+        else:
+            assert plane.fit_ok[index]
+            assert point.cycles == plane.cycles[index]
+            assert point.logic_cells == plane.logic_cells[index]

@@ -162,11 +162,26 @@ def test_pareto_front_indices_matches_reference():
     idx = pareto_front_indices(cycles, cells, feasible)
     candidates = [(cycles[i], int(cells[i]))
                   for i in range(400) if feasible[i]]
-    reference = sorted(set(pareto_front(candidates)))
+    # Same contract as the scalar oracle: ALL non-dominated points,
+    # metric ties included, sorted by the metric tuple.
+    reference = pareto_front(candidates)
     assert [(cycles[i], int(cells[i])) for i in idx] == reference
-    # front indices all feasible, cycles strictly increasing
+    # front indices all feasible, cycles non-decreasing
     assert feasible[idx].all()
-    assert (np.diff(cycles[idx]) > 0).all()
+    assert (np.diff(cycles[idx]) >= 0).all()
+
+
+def test_pareto_front_indices_keeps_metric_ties():
+    """Duplicate-metrics repro from the tie-dropping bug: five points,
+    five-point scalar front, and the vectorized scan must keep all of
+    them — including both copies of each duplicated metric pair."""
+    cycles = np.array([10.0, 10.0, 12.0, 12.0, 9.0])
+    cells = np.array([5, 5, 4, 4, 9])
+    idx = pareto_front_indices(cycles, cells)
+    got = [(cycles[i], int(cells[i])) for i in idx]
+    assert got == pareto_front(list(zip(cycles, cells)))
+    assert len(idx) == 5
+    assert sorted(idx.tolist()) == [0, 1, 2, 3, 4]
 
 
 def test_pareto_front_indices_empty():

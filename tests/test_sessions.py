@@ -192,6 +192,19 @@ def test_wire_metrics_and_eviction(fleet):
     assert "sessions_active" in text
 
 
+def test_listing_is_in_creation_order():
+    """Regression: listings used to sort ids lexicographically, so
+    "session-10" came before "session-2"; and an LRU touch must not
+    reorder the listing either."""
+    manager = SessionManager(max_sessions=16, compile_cache=None)
+    for _ in range(10):                  # session-1 .. session-10
+        manager.create({})
+    manager.create({"session_id": "aardvark"})
+    manager.get("session-2")             # LRU touch: listing unaffected
+    ids = [s["session_id"] for s in manager.list_statuses()]
+    assert ids == [f"session-{n}" for n in range(1, 11)] + ["aardvark"]
+
+
 def test_uart_round_trips_the_wire():
     manager = SessionManager(compile_cache=None)
     session = manager.create({})
