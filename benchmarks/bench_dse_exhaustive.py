@@ -26,10 +26,11 @@ Knobs:
                                   regret measurement (default 60)
 """
 
-import json
 import os
 import random
 import time
+
+from common import merge_bench_section as _merge_section
 
 from repro.boards import ARTY_A7_35T
 from repro.dse import (
@@ -67,14 +68,7 @@ REDUCED_SPACE = ParameterSpace([
 
 def merge_bench_section(section, payload):
     """Update one section of BENCH_dse.json without clobbering the rest."""
-    existing = {}
-    if os.path.exists(BENCH_PATH):
-        with open(BENCH_PATH) as handle:
-            existing = json.load(handle)
-    existing[section] = payload
-    with open(BENCH_PATH, "w") as handle:
-        json.dump(existing, handle, indent=2)
-        handle.write("\n")
+    _merge_section(BENCH_PATH, section, payload)
 
 
 def measure_scalar_baseline(model, sweeper):

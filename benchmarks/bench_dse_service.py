@@ -39,9 +39,10 @@ Knobs:
                               (default 2.0)
 """
 
-import json
 import os
 import time
+
+from common import merge_preserve
 
 from repro.dse import (
     CFU_FAMILIES,
@@ -277,14 +278,7 @@ def test_dse_service_benchmark(report, tmp_path):
         },
     }
     # Preserve sections owned by other benchmarks (bench_dse_exhaustive).
-    if os.path.exists(BENCH_PATH):
-        with open(BENCH_PATH) as handle:
-            previous = json.load(handle)
-        for key, value in previous.items():
-            payload.setdefault(key, value)
-    with open(BENCH_PATH, "w") as handle:
-        json.dump(payload, handle, indent=2)
-        handle.write("\n")
+    merge_preserve(BENCH_PATH, payload)
 
     report(f"DSE service benchmark ({TRIALS} trials/family x "
            f"{len(CFU_FAMILIES)} families)")

@@ -20,9 +20,10 @@ Knobs:
                                    every firmware row (default 15.0)
 """
 
-import json
 import os
 import time
+
+from common import merge_preserve
 
 from repro.accel import KwsCfu
 from repro.accel.kws import model as km
@@ -264,9 +265,9 @@ def test_sim_throughput(report):
             "passed": fast_headline["speedup"] >= SPEEDUP_MIN,
         },
     }
-    with open(BENCH_PATH, "w") as handle:
-        json.dump(payload, handle, indent=2)
-        handle.write("\n")
+    # Preserve any foreign top-level sections of BENCH_sim.json (the
+    # BENCH_rtl.json / BENCH_dse.json convention).
+    merge_preserve(BENCH_PATH, payload)
 
     report(f"Simulator throughput (reps={REPS})")
     report(f"{'workload':<18} {'mode':<11} {'ref ips':>10} {'fast ips':>10} "

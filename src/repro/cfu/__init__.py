@@ -1,7 +1,13 @@
 """Custom Function Unit abstraction: interface, emulation, RTL, testing."""
 
 from .interface import CfuError, CfuModel, NullCfu, cfu_op, make_cfu_macro
-from .rtl import CfuPorts, CombinationalCfu, RtlCfu, RtlCfuAdapter
+from .rtl import (
+    BatchRtlCfuDriver,
+    CfuPorts,
+    CombinationalCfu,
+    RtlCfu,
+    RtlCfuAdapter,
+)
 from .testing import (
     FirmwareRun,
     GoldenReport,
@@ -10,9 +16,11 @@ from .testing import (
     random_sequence,
     run_firmware,
     run_sequence,
+    run_sequences_batched,
 )
 
 __all__ = [
+    "BatchRtlCfuDriver",
     "CfuError",
     "CfuModel",
     "CfuPorts",
@@ -29,4 +37,5 @@ __all__ = [
     "random_sequence",
     "run_firmware",
     "run_sequence",
+    "run_sequences_batched",
 ]

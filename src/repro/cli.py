@@ -178,6 +178,33 @@ def _cmd_dse_exhaustive(args):
     return 0
 
 
+def _cmd_dse_characterize(args):
+    import json
+
+    from .dse import characterization_targets, characterize_cfu
+
+    targets = characterization_targets()
+    if args.list or not args.cfu:
+        for name in sorted(targets):
+            print(name)
+        return 0
+    if args.cfu not in targets:
+        print(f"unknown CFU {args.cfu!r}; choose from: "
+              f"{', '.join(sorted(targets))}", file=sys.stderr)
+        return 1
+    target = targets[args.cfu]
+    envelope = characterize_cfu(target.factory(), target.opcodes,
+                                ops=args.ops, seed=args.seed,
+                                setup=target.setup, backend=args.backend)
+    print(envelope.summary())
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            json.dump(envelope.to_record(), handle, indent=2)
+            handle.write("\n")
+        print(f"envelope written to {args.json_out}")
+    return 0
+
+
 def _cmd_dse_serve(args):
     from .dse import DseService, serve
 
@@ -379,6 +406,25 @@ def build_parser():
     dse_exhaustive.add_argument("--seed", type=int, default=0,
                                 help="seed for the --regret-trials search")
     dse_exhaustive.set_defaults(func=_cmd_dse_exhaustive)
+    dse_char = dse_sub.add_parser(
+        "characterize",
+        help="measure a CFU's latency envelope across operand classes "
+             "in one lane-parallel batched simulation")
+    dse_char.add_argument("cfu", nargs="?", default=None,
+                          help="CFU name (omit or use --list to see them)")
+    dse_char.add_argument("--list", action="store_true",
+                          help="list characterizable CFUs and exit")
+    dse_char.add_argument("--ops", type=_positive_int, default=16,
+                          help="measured ops per (opcode, class) lane")
+    dse_char.add_argument("--seed", type=int, default=0)
+    dse_char.add_argument("--backend", default="auto",
+                          choices=("auto", "batched", "scalar"),
+                          help="batched-simulation backend (auto falls "
+                               "back to lockstep scalar lanes when the "
+                               "netlist cannot be vectorized)")
+    dse_char.add_argument("--json-out", default=None,
+                          help="also write the envelope as JSON here")
+    dse_char.set_defaults(func=_cmd_dse_characterize)
     dse_serve = dse_sub.add_parser(
         "serve", help="serve the study/trial HTTP API (crash-safe, "
                       "resumable studies)")

@@ -2,6 +2,14 @@
 
 from .algorithms import GridSearch, RandomSearch, RegularizedEvolution, TpeLite
 from .cache import CACHE_SCHEMA_VERSION, MISS, EvaluationCache, cache_key
+from .characterize import (
+    OPERAND_CLASSES,
+    CharacterizationTarget,
+    ClassProfile,
+    LatencyEnvelope,
+    characterization_targets,
+    characterize_cfu,
+)
 from .exhaustive import (
     ExhaustiveResult,
     ExhaustiveSweeper,
@@ -54,7 +62,10 @@ from .worker import (
 )
 
 __all__ = [
-    "CACHE_SCHEMA_VERSION", "CACHE_SIZES", "CFU_FAMILIES", "ClientError",
+    "CACHE_SCHEMA_VERSION", "CACHE_SIZES", "CFU_FAMILIES",
+    "CharacterizationTarget", "ClassProfile", "ClientError",
+    "LatencyEnvelope", "OPERAND_CLASSES", "characterization_targets",
+    "characterize_cfu",
     "DEFAULT_BATCH", "DEFAULT_LEASE_SECONDS", "DseHttpServer", "DsePoint",
     "DseResult", "DseService", "EvalOutcome", "EvaluationCache",
     "ExhaustiveResult", "ExhaustiveSweeper", "FamilyPlane", "FaultInjector",

@@ -93,14 +93,20 @@ def _expr_token(node, slot_of):
     return f"{kind}({extra};w{node.width}g{signed};{inner})"
 
 
-def _module_key(signals, slot_of, memories, comb_stmts, sync_stmts):
+def _module_key(signals, slot_of, memories, comb_stmts, sync_stmts,
+                kind="rtl-module", schema=RTL_SCHEMA):
     """Content-address a module's netlist structure (everything the
-    code generator reads), or None when it can't be serialized."""
+    code generator reads), or None when it can't be serialized.
+
+    ``kind``/``schema`` namespace the cache entry per code generator:
+    the scalar and batched backends read the same netlist but emit
+    different source, so they must never share entries.
+    """
     from ..core.codecache import code_key
 
     try:
         payload = {
-            "schema": RTL_SCHEMA,
+            "schema": schema,
             "slots": [(sig.width, int(sig.signed), sig.reset)
                       for sig in signals],
             "comb": [(_expr_token(stmt.lhs, slot_of),
@@ -124,7 +130,7 @@ def _module_key(signals, slot_of, memories, comb_stmts, sync_stmts):
         }
     except (KeyError, AttributeError, TypeError):
         return None
-    return code_key("rtl-module", payload)
+    return code_key(kind, payload)
 
 
 def _reads(value):
@@ -345,7 +351,30 @@ def _schedule(comb_targets, deps_of):
     return order, levels
 
 
-def _compile(module):
+class Netlist:
+    """One module's elaborated netlist: statements split by domain, the
+    slot table, and the memory list — everything both code generators
+    (scalar and batched) read.  Built once by :func:`_elaborate`."""
+
+    def __init__(self, module, signals, slot_of, memories, comb_stmts,
+                 sync_stmts, comb_driven, sync_driven):
+        self.module = module
+        self.signals = signals
+        self.slot_of = slot_of
+        self.memories = memories
+        self.comb_stmts = comb_stmts
+        self.sync_stmts = sync_stmts
+        self.comb_driven = comb_driven
+        self.sync_driven = sync_driven
+
+    def key(self, kind="rtl-module", schema=RTL_SCHEMA):
+        return _module_key(self.signals, self.slot_of, self.memories,
+                           self.comb_stmts, self.sync_stmts,
+                           kind=kind, schema=schema)
+
+
+def _elaborate(module):
+    """Split statements by domain and build the slot table."""
     if not isinstance(module, Module):
         raise TypeError("compile_module requires a Module")
     comb_stmts, sync_stmts = [], []
@@ -382,6 +411,16 @@ def _compile(module):
         for wp in mem.write_ports:
             for value in (wp.en, wp.addr, wp.data):
                 slot_reads(value)
+    return Netlist(module, signals, slot_of, memories, comb_stmts,
+                   sync_stmts, comb_driven, sync_driven)
+
+
+def _compile(module):
+    netlist = _elaborate(module)
+    signals, slot_of = netlist.signals, netlist.slot_of
+    memories = netlist.memories
+    comb_stmts, sync_stmts = netlist.comb_stmts, netlist.sync_stmts
+    comb_driven, sync_driven = netlist.comb_driven, netlist.sync_driven
 
     # --- persistent source cache -------------------------------------------
     # The generated comb/tick source is a pure function of the netlist
@@ -416,11 +455,15 @@ def _compile(module):
                            levels)
 
 
-def _codegen_module(module, slot_of, memories, comb_stmts, sync_stmts,
-                    comb_driven):
-    """Lower one module's netlist to ``comb``/``tick`` source; returns
-    ``(source, levels)``.  Deterministic given the slot table."""
-    # --- comb netlist: per-target work lists, dependency edges --------------
+def _comb_schedule(module, memories, comb_stmts):
+    """Levelize the comb netlist; shared by both code generators.
+
+    Returns ``(order, stmts_of, comb_ports, levels)`` where ``order``
+    is the scheduled target list, ``stmts_of`` maps ``id(target)`` to
+    its statement work list, and ``comb_ports`` maps ``id(data)`` to
+    ``[(memory index, read port)]``.  Raises :class:`CompileError`
+    naming the loop when the netlist has a combinational cycle.
+    """
     comb_ports = {}  # id(data signal) -> [(memory index, read port)]
     for index, mem in enumerate(memories):
         for rp in mem.read_ports:
@@ -470,6 +513,27 @@ def _codegen_module(module, slot_of, memories, comb_stmts, sync_stmts,
         raise CompileError(
             f"module {module.name}: cannot levelize the comb netlist "
             f"(combinational cycle: {path})")
+    return order, stmts_of, comb_ports, levels
+
+
+def _sync_groups(sync_stmts):
+    """Group sync statements by target, preserving statement order."""
+    sync_targets, sync_ids, sync_stmts_of = [], set(), {}
+    for stmt in sync_stmts:
+        target = stmt.target_signal()
+        if id(target) not in sync_ids:
+            sync_ids.add(id(target))
+            sync_targets.append(target)
+        sync_stmts_of.setdefault(id(target), []).append(stmt)
+    return sync_targets, sync_stmts_of
+
+
+def _codegen_module(module, slot_of, memories, comb_stmts, sync_stmts,
+                    comb_driven):
+    """Lower one module's netlist to ``comb``/``tick`` source; returns
+    ``(source, levels)``.  Deterministic given the slot table."""
+    order, stmts_of, comb_ports, levels = _comb_schedule(
+        module, memories, comb_stmts)
 
     # --- emit comb(V, M): one scheduled pass --------------------------------
     comb_driven_ids = {id(sig) for sig in comb_driven}
@@ -507,13 +571,7 @@ def _codegen_module(module, slot_of, memories, comb_stmts, sync_stmts,
     gen2.lines.append("def tick(V, M):")
     for index in range(len(memories)):
         gen2.emit(f"_m{index} = M[{index}]")
-    sync_targets, sync_ids, sync_stmts_of = [], set(), {}
-    for stmt in sync_stmts:
-        target = stmt.target_signal()
-        if id(target) not in sync_ids:
-            sync_ids.add(id(target))
-            sync_targets.append(target)
-        sync_stmts_of.setdefault(id(target), []).append(stmt)
+    sync_targets, sync_stmts_of = _sync_groups(sync_stmts)
     for target in sync_targets:
         acc = f"_n{slot_of[id(target)]}"
         gen2.emit(f"{acc} = V[{slot_of[id(target)]}]")

@@ -1,5 +1,7 @@
 """Equivalence-checker tests."""
 
+import random
+
 import pytest
 
 from repro.rtl import (
@@ -8,6 +10,7 @@ from repro.rtl import (
     Signal,
     assert_modules_equivalent,
     check_equivalence,
+    check_equivalence_batch,
 )
 
 
@@ -88,7 +91,7 @@ def test_input_bias():
     assert report.equivalent
 
 
-def test_mismatch_reporting_caps_at_ten():
+def make_constant_pair():
     m1 = Module("zero")
     x1 = Signal(8, name="x1")
     y1 = Signal(8, name="y1")
@@ -97,6 +100,93 @@ def test_mismatch_reporting_caps_at_ten():
     x2 = Signal(8, name="x2")
     y2 = Signal(8, name="y2")
     m2.d.comb += y2.eq(1)
+    return m1, x1, y1, m2, x2, y2
+
+
+def test_mismatch_reporting_caps_at_ten():
+    m1, x1, y1, m2, x2, y2 = make_constant_pair()
     report = check_equivalence(m1, m2, inputs=[(x1, x2)],
                                outputs=[(y1, y2)], cycles=100)
     assert len(report.mismatches) == 10  # early exit
+
+
+def test_max_mismatches_truncates_early():
+    m1, x1, y1, m2, x2, y2 = make_constant_pair()
+    report = check_equivalence(m1, m2, inputs=[(x1, x2)],
+                               outputs=[(y1, y2)], cycles=100,
+                               max_mismatches=3)
+    assert len(report.mismatches) == 3
+    assert report.cycles == 3
+    assert report.truncated  # later cycles were not compared
+    # None disables the cap: every cycle is compared and reported.
+    full = check_equivalence(m1, m2, inputs=[(x1, x2)],
+                             outputs=[(y1, y2)], cycles=100,
+                             max_mismatches=None)
+    assert len(full.mismatches) == 100
+    assert full.cycles == 100 and not full.truncated
+
+
+def test_truncated_report_message_says_lower_bound():
+    m1, x1, y1, m2, x2, y2 = make_constant_pair()
+    with pytest.raises(AssertionError, match="truncated"):
+        assert_modules_equivalent(m1, m2, inputs=[(x1, x2)],
+                                  outputs=[(y1, y2)], cycles=100)
+
+
+def test_stimulus_order_contract():
+    """Regression for the documented draw order: cycle-major, then input
+    list order, one ``getrandbits(width)`` (or bias call) per input from
+    a single ``random.Random(seed)`` stream."""
+    m1, a1, b1, o1 = make_abs_diff_mux()
+    m2, a2, b2, o2 = make_abs_diff_if()
+    seed, cycles = 77, 15
+    observed = []
+    report = check_equivalence(
+        m1, m2, inputs=[(a1, a2), (b1, b2)], outputs=[(o1, o2)],
+        cycles=cycles, seed=seed,
+        input_bias={a1: lambda rng: observed.append(rng.getrandbits(8))
+                    or observed[-1]})
+    assert report.equivalent
+    # Replay the contract: for cycle c, draw a (8 bits) then b (8 bits)
+    # from one stream; the bias hook saw exactly the a-draws.
+    rng = random.Random(seed)
+    expected = []
+    for _ in range(cycles):
+        expected.append(rng.getrandbits(8))   # input 0 (a, biased hook)
+        rng.getrandbits(8)                    # input 1 (b)
+    assert observed == expected
+
+
+def test_batch_reports_match_sequential():
+    """check_equivalence_batch == a loop of check_equivalence, element
+    for element: cycles, mismatch records, truncation flags."""
+    m1, a1, b1, o1 = make_abs_diff_mux()
+    m2 = Module("wrong")
+    a2, b2 = Signal(8, name="a2"), Signal(8, name="b2")
+    o2 = Signal(8, name="o2")
+    m2.d.comb += o2.eq((a2 - b2)[0:8])  # diverges on about half the draws
+    seeds = [0, 1, 2, 3, 4]
+    kwargs = dict(inputs=[(a1, a2), (b1, b2)], outputs=[(o1, o2)],
+                  cycles=40, max_mismatches=5)
+    batch = check_equivalence_batch(m1, m2, seeds=seeds, **kwargs)
+    for seed, report in zip(seeds, batch):
+        sequential = check_equivalence(m1, m2, seed=seed, **kwargs)
+        assert report.seed == sequential.seed == seed
+        assert report.cycles == sequential.cycles
+        assert report.truncated == sequential.truncated
+        assert [(m.cycle, m.signal_name, m.value_a, m.value_b)
+                for m in report.mismatches] == \
+               [(m.cycle, m.signal_name, m.value_a, m.value_b)
+                for m in sequential.mismatches]
+
+
+def test_batch_equivalent_modules_all_pass():
+    m1, a1, b1, o1 = make_abs_diff_mux()
+    m2, a2, b2, o2 = make_abs_diff_if()
+    reports = check_equivalence_batch(
+        m1, m2, inputs=[(a1, a2), (b1, b2)], outputs=[(o1, o2)],
+        seeds=range(8), cycles=30)
+    assert len(reports) == 8
+    assert all(r.equivalent and r.cycles == 30 for r in reports)
+    assert check_equivalence_batch(m1, m2, inputs=[(a1, a2), (b1, b2)],
+                                   outputs=[(o1, o2)], seeds=[]) == []
